@@ -1,0 +1,102 @@
+// Ablation: which subspace clusterer initializes best? Reproduces the
+// finding of the paper's precursor study (Khachatryan et al., SSDBM'11)
+// that MineClus is the strongest initializer, here against CLIQUE and DOC
+// on Gauss and Sky.
+
+#include <memory>
+
+#include "bench_common.h"
+
+#include "clustering/clique.h"
+#include "clustering/doc.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "histogram/stholes.h"
+#include "histogram/trivial.h"
+#include "init/initializer.h"
+
+int main() {
+  using namespace sthist;
+  using namespace sthist::bench;
+
+  Scale scale = GetScale();
+  PrintBanner("Ablation — MineClus vs CLIQUE vs DOC as initializer", scale);
+
+  struct Panel {
+    const char* name;
+    GeneratedData data;
+    MineClusConfig mineclus;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"Gauss[1%]", BenchGauss(scale), GaussMineClus()});
+  panels.push_back({"Sky[1%]", BenchSky(scale), SkyMineClus()});
+
+  for (Panel& panel : panels) {
+    Experiment experiment(std::move(panel.data));
+    const Executor& executor = experiment.executor();
+
+    ExperimentConfig base;
+    base.train_queries = scale.train_queries;
+    base.sim_queries = scale.sim_queries;
+    base.volume_fraction = 0.01;
+    auto [train, sim] = experiment.MakeWorkloads(base);
+
+    // Clusterers under test.
+    DocConfig doc_config;
+    doc_config.alpha = panel.mineclus.alpha;
+    doc_config.width_fraction = panel.mineclus.width_fraction;
+    std::vector<std::unique_ptr<SubspaceClusterer>> clusterers;
+    clusterers.push_back(
+        std::make_unique<MineClusClusterer>(panel.mineclus));
+    clusterers.push_back(std::make_unique<CliqueClusterer>(CliqueConfig{}));
+    clusterers.push_back(std::make_unique<DocClusterer>(doc_config));
+
+    TrivialHistogram trivial(experiment.domain(), experiment.total_tuples());
+    double trivial_mae = MeanAbsoluteError(trivial, sim, executor);
+
+    TablePrinter table({"initializer", "clusters", "buckets=50 NAE",
+                        "buckets=100 NAE", "buckets=250 NAE"});
+
+    // The uninitialized reference row.
+    {
+      std::vector<std::string> row = {"(none)", "0"};
+      for (size_t buckets : {50u, 100u, 250u}) {
+        STHolesConfig hc;
+        hc.max_buckets = buckets;
+        STHoles hist(experiment.domain(), experiment.total_tuples(), hc);
+        Train(&hist, train, executor);
+        double mae = SimulateAndMeasure(&hist, sim, executor, true);
+        row.push_back(FormatDouble(mae / trivial_mae, 3));
+      }
+      table.AddRow(std::move(row));
+    }
+
+    for (const auto& clusterer : clusterers) {
+      std::vector<SubspaceCluster> clusters =
+          clusterer->Cluster(experiment.data(), experiment.domain());
+      std::vector<std::string> row = {clusterer->name(),
+                                      FormatSize(clusters.size())};
+      for (size_t buckets : {50u, 100u, 250u}) {
+        STHolesConfig hc;
+        hc.max_buckets = buckets;
+        STHoles hist(experiment.domain(), experiment.total_tuples(), hc);
+        InitializeHistogram(clusters, experiment.domain(), executor,
+                            InitializerConfig{}, &hist);
+        Train(&hist, train, executor);
+        double mae = SimulateAndMeasure(&hist, sim, executor, true);
+        row.push_back(FormatDouble(mae / trivial_mae, 3));
+      }
+      table.AddRow(std::move(row));
+    }
+
+    std::printf("%s\n", panel.name);
+    table.Print();
+    std::printf("\n");
+  }
+
+  std::printf("expected shape: every initializer beats no initialization; "
+              "MineClus is the most reliable across datasets (the SSDBM'11 "
+              "finding), with DOC a noisier Monte-Carlo variant and CLIQUE "
+              "limited by grid-connectivity cluster shapes.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation (§4.1, Figure 6 discussion): extended bounding rectangles vs
+// plain MBRs as initial buckets. The MBR of a subspace cluster silently
+// raises its dimensionality and misdescribes the spanned dimensions; the
+// extended BR preserves the subspace information.
+
+#include "bench_common.h"
+
+#include "eval/table.h"
+#include "histogram/census.h"
+#include "histogram/stholes.h"
+#include "init/initializer.h"
+
+int main() {
+  using namespace sthist;
+  using namespace sthist::bench;
+
+  Scale scale = GetScale();
+  PrintBanner("Ablation — extended BR vs plain MBR initialization", scale);
+
+  struct Panel {
+    const char* name;
+    GeneratedData data;
+    MineClusConfig mineclus;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"Gauss[1%]", BenchGauss(scale), GaussMineClus()});
+  panels.push_back({"Sky[1%]", BenchSky(scale), SkyMineClus()});
+
+  for (Panel& panel : panels) {
+    Experiment experiment(std::move(panel.data));
+
+    TablePrinter table({"buckets", "extended-BR NAE", "plain-MBR NAE",
+                        "uninit NAE"});
+    for (size_t buckets : {50u, 100u, 250u}) {
+      ExperimentConfig config;
+      config.buckets = buckets;
+      config.train_queries = scale.train_queries;
+      config.sim_queries = scale.sim_queries;
+      config.volume_fraction = 0.01;
+      config.mineclus = panel.mineclus;
+
+      ExperimentResult uninit = experiment.Run(config);
+
+      config.initialize = true;
+      config.initializer.use_extended_br = true;
+      ExperimentResult extended = experiment.Run(config);
+
+      config.initializer.use_extended_br = false;
+      ExperimentResult mbr = experiment.Run(config);
+
+      table.AddRow({FormatSize(buckets), FormatDouble(extended.nae, 3),
+                    FormatDouble(mbr.nae, 3), FormatDouble(uninit.nae, 3)});
+    }
+    std::printf("%s\n", panel.name);
+    table.Print();
+
+    // The structural difference: right after initialization, only the
+    // extended BRs are exactly-spanning subspace buckets; MBRs stop at the
+    // outermost member and are classified as full-dimensional.
+    {
+      STHolesConfig hc;
+      hc.max_buckets = 100;
+      const std::vector<SubspaceCluster>& clusters =
+          experiment.Clusters(panel.mineclus);
+
+      STHoles extended(experiment.domain(), experiment.total_tuples(), hc);
+      InitializerConfig ic;
+      InitializeHistogram(clusters, experiment.domain(),
+                          experiment.executor(), ic, &extended);
+      STHoles mbr(experiment.domain(), experiment.total_tuples(), hc);
+      ic.use_extended_br = false;
+      InitializeHistogram(clusters, experiment.domain(),
+                          experiment.executor(), ic, &mbr);
+      std::printf("subspace buckets right after init (100 budget): "
+                  "extended-BR %zu, plain-MBR %zu\n\n",
+                  CensusSubspaceBuckets(extended).subspace_buckets,
+                  CensusSubspaceBuckets(mbr).subspace_buckets);
+    }
+  }
+
+  std::printf("expected shape: both initializations beat uninit. With dense "
+              "member sets the MBR's bounds converge to the extended BR, so "
+              "the NAE gap is small — but only the extended BR yields "
+              "exactly-spanning subspace buckets (the paper's Fig. 6 "
+              "argument applies with full force to small clusters).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation (§5.3): cluster feeding order — importance order vs reversed vs
+// the histogram's sensitivity to it across budgets, on Sky.
+
+#include "bench_common.h"
+
+#include "eval/table.h"
+
+int main() {
+  using namespace sthist;
+  using namespace sthist::bench;
+
+  Scale scale = GetScale();
+  PrintBanner("Ablation — cluster feeding order, Sky[1%]", scale);
+
+  Experiment experiment(BenchSky(scale));
+
+  TablePrinter table({"buckets", "importance order NAE", "reversed NAE",
+                      "delta"});
+  for (size_t buckets : scale.bucket_sweep) {
+    ExperimentConfig config;
+    config.buckets = buckets;
+    config.train_queries = scale.train_queries;
+    config.sim_queries = scale.sim_queries;
+    config.volume_fraction = 0.01;
+    config.initialize = true;
+    config.mineclus = SkyMineClus();
+
+    ExperimentResult normal = experiment.Run(config);
+    config.initializer.reversed = true;
+    ExperimentResult reversed = experiment.Run(config);
+
+    table.AddRow({FormatSize(buckets), FormatDouble(normal.nae, 3),
+                  FormatDouble(reversed.nae, 3),
+                  FormatDouble(reversed.nae - normal.nae, 3)});
+  }
+  table.Print();
+  std::printf("\nexpected shape: importance order is never worse; the gap "
+              "demonstrates that initialization itself is sensitive to "
+              "feeding order (paper Fig. 13).\n");
+  return 0;
+}

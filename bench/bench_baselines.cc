@@ -1,0 +1,168 @@
+// Baseline panorama: for matched synopsis budgets, compare
+//   - the trivial histogram H0 (NAE 1 by definition),
+//   - AVI: per-attribute equi-depth histograms + independence assumption,
+//   - uniform sampling at the same footprint,
+//   - a static equi-width grid built by scanning the data,
+//   - MHIST-2 (static MaxDiff partitioning, the paper's [23]),
+//   - STGrid-style self-tuning (grid + total-cardinality feedback),
+//   - uninitialized STHoles (tree + per-region feedback),
+//   - MineClus-initialized STHoles (the paper's contribution).
+// The paper deliberately skips static baselines (§5, citing [29]); this
+// harness adds them back for library users who want the full picture.
+
+#include <cmath>
+#include <memory>
+
+#include "bench_common.h"
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "histogram/avi.h"
+#include "histogram/equiwidth.h"
+#include "histogram/isomer.h"
+#include "histogram/mhist.h"
+#include "histogram/sampling.h"
+#include "histogram/stgrid.h"
+#include "histogram/stholes.h"
+#include "histogram/trivial.h"
+#include "init/initializer.h"
+
+namespace {
+
+using namespace sthist;
+
+// Largest grid resolution whose cell count stays within `budget`.
+size_t CellsForBudget(size_t budget, size_t dim) {
+  size_t cells = 2;
+  while (std::pow(static_cast<double>(cells + 1),
+                  static_cast<double>(dim)) <=
+         static_cast<double>(budget)) {
+    ++cells;
+  }
+  return cells;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sthist::bench;
+
+  Scale scale = GetScale();
+  PrintBanner("Baselines — trivial / static grid / STGrid / STHoles / "
+              "STHoles+init",
+              scale);
+
+  struct Panel {
+    const char* name;
+    GeneratedData data;
+    MineClusConfig mineclus;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"Cross[1%]", BenchCross(), CrossMineClus()});
+  panels.push_back({"Sky[1%]", BenchSky(scale), SkyMineClus()});
+
+  for (Panel& panel : panels) {
+    Experiment experiment(std::move(panel.data));
+    const Executor& executor = experiment.executor();
+    const size_t dim = experiment.data().dim();
+
+    ExperimentConfig base;
+    base.train_queries = scale.train_queries;
+    base.sim_queries = scale.sim_queries;
+    base.volume_fraction = 0.01;
+    auto [train, sim] = experiment.MakeWorkloads(base);
+
+    TrivialHistogram trivial(experiment.domain(), experiment.total_tuples());
+    double trivial_mae = MeanAbsoluteError(trivial, sim, executor);
+
+    TablePrinter table({"histogram", "budget used", "NAE"});
+    table.AddRow({"trivial (H0)", "1", "1.000"});
+
+    for (size_t budget : {64u, 256u}) {
+      size_t cells = CellsForBudget(budget, dim);
+
+      AviHistogram avi(experiment.data(), experiment.domain(),
+                       std::max<size_t>(budget / dim, 2));
+      double avi_mae = MeanAbsoluteError(avi, sim, executor);
+      table.AddRow({"AVI equi-depth (" + FormatSize(budget) + ")",
+                    FormatSize(avi.bucket_count()),
+                    FormatDouble(avi_mae / trivial_mae, 3)});
+
+      SamplingEstimator sampling(experiment.data(), budget, 31);
+      double sampling_mae = MeanAbsoluteError(sampling, sim, executor);
+      table.AddRow({"sampling (" + FormatSize(budget) + ")",
+                    FormatSize(sampling.bucket_count()),
+                    FormatDouble(sampling_mae / trivial_mae, 3)});
+
+      EquiWidthHistogram static_grid(experiment.data(), experiment.domain(),
+                                     cells);
+      double static_mae = MeanAbsoluteError(static_grid, sim, executor);
+      table.AddRow({"static equi-width (" + FormatSize(budget) + ")",
+                    FormatSize(static_grid.bucket_count()),
+                    FormatDouble(static_mae / trivial_mae, 3)});
+
+      MHistConfig mhist_config;
+      mhist_config.max_buckets = budget;
+      MHistHistogram mhist(experiment.data(), experiment.domain(),
+                           mhist_config);
+      double mhist_mae = MeanAbsoluteError(mhist, sim, executor);
+      table.AddRow({"MHist MaxDiff (" + FormatSize(budget) + ")",
+                    FormatSize(mhist.bucket_count()),
+                    FormatDouble(mhist_mae / trivial_mae, 3)});
+
+      STGridConfig grid_config;
+      grid_config.cells_per_dim = cells;
+      grid_config.restructure_interval = 100;
+      STGridHistogram stgrid(experiment.domain(), experiment.total_tuples(),
+                             grid_config);
+      Train(&stgrid, train, executor);
+      double stgrid_mae = SimulateAndMeasure(&stgrid, sim, executor, true);
+      table.AddRow({"STGrid (" + FormatSize(budget) + ")",
+                    FormatSize(stgrid.bucket_count()),
+                    FormatDouble(stgrid_mae / trivial_mae, 3)});
+
+      IsomerConfig isomer_config;
+      isomer_config.max_buckets = budget;
+      IsomerHistogram isomer(experiment.domain(), experiment.total_tuples(),
+                             isomer_config);
+      Train(&isomer, train, executor);
+      double isomer_mae = SimulateAndMeasure(&isomer, sim, executor, true);
+      table.AddRow({"ISOMER (" + FormatSize(budget) + ")",
+                    FormatSize(isomer.bucket_count()),
+                    FormatDouble(isomer_mae / trivial_mae, 3)});
+
+      STHolesConfig holes_config;
+      holes_config.max_buckets = budget;
+      STHoles holes(experiment.domain(), experiment.total_tuples(),
+                    holes_config);
+      Train(&holes, train, executor);
+      double holes_mae = SimulateAndMeasure(&holes, sim, executor, true);
+      table.AddRow({"STHoles (" + FormatSize(budget) + ")",
+                    FormatSize(holes.bucket_count()),
+                    FormatDouble(holes_mae / trivial_mae, 3)});
+
+      STHoles init(experiment.domain(), experiment.total_tuples(),
+                   holes_config);
+      InitializeHistogram(experiment.Clusters(panel.mineclus),
+                          experiment.domain(), executor, InitializerConfig{},
+                          &init);
+      Train(&init, train, executor);
+      double init_mae = SimulateAndMeasure(&init, sim, executor, true);
+      table.AddRow({"STHoles+init (" + FormatSize(budget) + ")",
+                    FormatSize(init.bucket_count()),
+                    FormatDouble(init_mae / trivial_mae, 3)});
+    }
+
+    std::printf("%s\n", panel.name);
+    table.Print();
+    std::printf("\n");
+  }
+
+  std::printf("expected shape: self-tuning beats the rigid grids at equal "
+              "budgets on clustered data, STHoles beats STGrid (richer "
+              "feedback), and initialization beats plain STHoles. AVI "
+              "collapses where attributes correlate. MHist can win outright "
+              "on easy static data — its price is full scans at build time "
+              "and staleness on change (see examples/drift_adaptation).\n");
+  return 0;
+}

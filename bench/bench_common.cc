@@ -1,0 +1,140 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/table.h"
+
+namespace sthist::bench {
+
+Scale GetScale() {
+  Scale scale;
+  const char* full = std::getenv("STHIST_FULL");
+  if (full != nullptr && full[0] == '1') {
+    scale.full = true;
+    scale.train_queries = 1000;
+    scale.sim_queries = 1000;
+    scale.sky_tuples = 1700000;
+    scale.heavy_extra_queries = 18000;
+    scale.crossnd_cluster_tuples_4d = 90000;
+    scale.crossnd_cluster_tuples_5d = 2700000;
+    scale.bucket_sweep = {50, 100, 150, 200, 250};
+  }
+  return scale;
+}
+
+GeneratedData BenchCross() {
+  // Paper scale (Table 1): 22,000 tuples, runs fast enough everywhere.
+  return MakeCross(CrossConfig{});
+}
+
+GeneratedData BenchCrossNd(size_t dim, const Scale& scale) {
+  CrossConfig config;
+  config.dim = dim;
+  switch (dim) {
+    case 3:
+      config.tuples_per_cluster = 3000;  // Table 3: 9,000 total.
+      break;
+    case 4:
+      config.tuples_per_cluster = scale.crossnd_cluster_tuples_4d;
+      break;
+    default:
+      config.tuples_per_cluster = scale.crossnd_cluster_tuples_5d;
+      break;
+  }
+  config.noise_tuples = config.tuples_per_cluster * dim / 10;
+  config.seed = 100 + dim;
+  return MakeCross(config);
+}
+
+GeneratedData BenchGauss(const Scale& scale) {
+  GaussConfig config;
+  config.cluster_tuples = scale.gauss_cluster_tuples;
+  config.noise_tuples = scale.gauss_noise_tuples;
+  return MakeGauss(config);
+}
+
+GeneratedData BenchSky(const Scale& scale) {
+  SkyConfig config;
+  config.tuples = scale.sky_tuples;
+  return MakeSky(config);
+}
+
+MineClusConfig CrossMineClus() {
+  MineClusConfig config;
+  config.alpha = 0.05;
+  config.width_fraction = 0.05;
+  // Favor size over dimensionality: on the higher-dimensional Cross
+  // variants, a smaller beta would rank the full-dimensional band-junction
+  // artifact above the bands themselves and feed it first.
+  config.beta = 0.4;
+  return config;
+}
+
+MineClusConfig GaussMineClus() {
+  MineClusConfig config;
+  config.alpha = 0.02;
+  config.width_fraction = 0.06;
+  return config;
+}
+
+MineClusConfig SkyMineClus() {
+  MineClusConfig config;
+  config.alpha = 0.01;
+  config.width_fraction = 0.05;
+  return config;
+}
+
+void PrintBanner(const std::string& title, const Scale& scale) {
+  std::printf("==== %s ====\n", title.c_str());
+  std::printf("scale: %s (train=%zu, sim=%zu queries)%s\n",
+              scale.full ? "paper (STHIST_FULL=1)" : "bench default",
+              scale.train_queries, scale.sim_queries,
+              scale.full ? "" : " — set STHIST_FULL=1 for paper scale");
+  std::printf("paper columns are approximate values digitized from the "
+              "figure; compare shapes, not absolutes.\n\n");
+}
+
+void RunFigure(Experiment* experiment, const FigureSpec& spec) {
+  std::vector<std::string> headers = {"buckets"};
+  for (const Series& series : spec.series) {
+    headers.push_back(series.name + " NAE");
+    if (!series.paper_nae.empty()) {
+      headers.push_back(series.name + " (paper)");
+    }
+  }
+  TablePrinter table(headers);
+
+  for (size_t i = 0; i < spec.bucket_counts.size(); ++i) {
+    std::vector<std::string> row = {FormatSize(spec.bucket_counts[i])};
+
+    // Position of this bucket count in the paper's sweep, if any.
+    size_t paper_index = spec.paper_bucket_counts.size();
+    for (size_t j = 0; j < spec.paper_bucket_counts.size(); ++j) {
+      if (spec.paper_bucket_counts[j] == spec.bucket_counts[i]) {
+        paper_index = j;
+        break;
+      }
+    }
+
+    for (const Series& series : spec.series) {
+      ExperimentConfig config = spec.base;
+      config.buckets = spec.bucket_counts[i];
+      config.initialize = series.initialize;
+      config.initializer.reversed = series.reversed;
+      ExperimentResult result = experiment->Run(config);
+      row.push_back(FormatDouble(result.nae, 3));
+      if (!series.paper_nae.empty()) {
+        row.push_back(paper_index < series.paper_nae.size()
+                          ? FormatDouble(series.paper_nae[paper_index], 3)
+                          : "-");
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", spec.title.c_str());
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace sthist::bench

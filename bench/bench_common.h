@@ -1,0 +1,76 @@
+#ifndef STHIST_BENCH_BENCH_COMMON_H_
+#define STHIST_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "eval/runner.h"
+
+namespace sthist::bench {
+
+/// Bench scale knobs. Defaults run every harness in seconds-to-a-minute;
+/// setting the environment variable STHIST_FULL=1 switches to the paper's
+/// workload sizes (1,000 training + 1,000 simulation queries, full dataset
+/// cardinalities) at correspondingly longer runtimes.
+struct Scale {
+  bool full = false;
+  size_t train_queries = 200;
+  size_t sim_queries = 200;
+  size_t sky_tuples = 100000;
+  size_t gauss_cluster_tuples = 100000;
+  size_t gauss_noise_tuples = 10000;
+  size_t heavy_extra_queries = 2000;
+  size_t crossnd_cluster_tuples_4d = 40000;
+  size_t crossnd_cluster_tuples_5d = 60000;
+  /// Bucket budgets swept by the figure harnesses; the paper's full
+  /// {50,100,150,200,250} under STHIST_FULL=1, a 3-point sweep by default.
+  std::vector<size_t> bucket_sweep = {50, 100, 250};
+};
+
+/// Reads the scale from the environment (STHIST_FULL=1 for paper scale).
+Scale GetScale();
+
+/// Canonical dataset builders at bench scale.
+GeneratedData BenchCross();
+GeneratedData BenchCrossNd(size_t dim, const Scale& scale);
+GeneratedData BenchGauss(const Scale& scale);
+GeneratedData BenchSky(const Scale& scale);
+
+/// MineClus parameters tuned per dataset family (the defaults the paper's
+/// accuracy experiments effectively use: dense clusters, not too small).
+MineClusConfig CrossMineClus();
+MineClusConfig GaussMineClus();
+MineClusConfig SkyMineClus();
+
+/// One experiment variant within a figure (a line in the plot).
+struct Series {
+  std::string name;
+  bool initialize = false;
+  bool reversed = false;
+  /// Paper values (approximate, digitized from the figure) for the same
+  /// bucket counts, for shape comparison. Empty when the paper gives none.
+  std::vector<double> paper_nae;
+};
+
+/// A bucket-count sweep reproducing one figure. Each series' `paper_nae`
+/// entries are indexed against `paper_bucket_counts`; measured bucket counts
+/// not present there print "-" in the paper column.
+struct FigureSpec {
+  std::string title;
+  std::vector<size_t> bucket_counts = {50, 100, 250};
+  std::vector<size_t> paper_bucket_counts = {50, 100, 150, 200, 250};
+  ExperimentConfig base;
+  std::vector<Series> series;
+};
+
+/// Runs the sweep and prints one table: rows = bucket counts, columns =
+/// measured NAE per series plus the paper's approximate value.
+void RunFigure(Experiment* experiment, const FigureSpec& spec);
+
+/// Prints the standard harness banner (title + scale note).
+void PrintBanner(const std::string& title, const Scale& scale);
+
+}  // namespace sthist::bench
+
+#endif  // STHIST_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,64 @@
+// Figure 4 / Example 1: two queries, two orders, a 2-bucket budget — the
+// resulting histograms differ in structure and accuracy. Batch version of
+// examples/order_sensitivity with an error table.
+
+#include <cmath>
+
+#include "bench_common.h"
+
+#include "core/rng.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "histogram/census.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+
+int main() {
+  using namespace sthist;
+  using namespace sthist::bench;
+
+  Scale scale = GetScale();
+  PrintBanner("Figure 4 — query order shapes the 2-bucket histogram", scale);
+
+  Dataset data(2);
+  Rng rng(4);
+  Point p(2);
+  for (int i = 0; i < 2000; ++i) {
+    p[0] = rng.Uniform(55, 95);
+    p[1] = rng.Uniform(55, 95);
+    data.Append(p);
+  }
+  Executor executor(data);
+  Box domain = Box::Cube(2, 0, 100);
+
+  // The tight query captures the cluster exactly; the sloppy one covers only
+  // its lower-left corner plus empty space, so drilling it first deforms the
+  // informative query (it gets shrunk around the sloppy bucket) and part of
+  // the cluster never becomes a bucket.
+  Box tight({55.0, 55.0}, {95.0, 95.0});
+  Box sloppy({40.0, 40.0}, {75.0, 75.0});
+  Workload probes;
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Uniform(30, 80), y = rng.Uniform(30, 80);
+    probes.push_back(Box({x, y}, {x + 20, y + 20}));
+  }
+
+  TablePrinter table({"order", "buckets", "probe MAE"});
+  for (int order = 0; order < 2; ++order) {
+    STHolesConfig config;
+    config.max_buckets = 2;
+    STHoles hist(domain, static_cast<double>(data.size()), config);
+    hist.Refine(order == 0 ? tight : sloppy, executor);
+    hist.Refine(order == 0 ? sloppy : tight, executor);
+    table.AddRow({order == 0 ? "tight, then sloppy" : "sloppy, then tight",
+                  FormatSize(hist.bucket_count()),
+                  FormatDouble(MeanAbsoluteError(hist, probes, executor),
+                               1)});
+  }
+  table.Print();
+  std::printf("\nexpected shape: the tight-first order captures the cluster "
+              "and has the lower probe error (top row of the paper's "
+              "Figure 4); the sloppy-first order deforms the informative "
+              "query.\n");
+  return 0;
+}

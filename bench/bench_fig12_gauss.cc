@@ -1,0 +1,32 @@
+// Figure 12: normalized error on the Gauss dataset (6-d subspace Gaussian
+// bells), 1%-volume queries, bucket budgets 50..250.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace sthist;
+  using namespace sthist::bench;
+
+  Scale scale = GetScale();
+  PrintBanner("Figure 12 — Gauss[1%], initialized vs uninitialized", scale);
+
+  Experiment experiment(BenchGauss(scale));
+
+  FigureSpec spec;
+  spec.title = "Gauss[1%] normalized absolute error";
+  spec.bucket_counts = scale.bucket_sweep;
+  spec.base.train_queries = scale.train_queries;
+  spec.base.sim_queries = scale.sim_queries;
+  spec.base.volume_fraction = 0.01;
+  spec.base.mineclus = GaussMineClus();
+  spec.series = {
+      {"uninit", false, false, {0.390, 0.340, 0.300, 0.270, 0.250}},
+      {"init", true, false, {0.190, 0.170, 0.150, 0.140, 0.130}},
+  };
+  RunFigure(&experiment, spec);
+
+  std::printf("expected shape: larger benefit than on Cross — the subspace "
+              "bells are invisible to full-space self-tuning; init@50 beats "
+              "uninit@250.\n");
+  return 0;
+}

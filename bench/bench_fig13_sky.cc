@@ -1,0 +1,35 @@
+// Figure 13: normalized error on the Sky dataset with 1%-volume queries,
+// including the "Initialized (Reversed)" control that feeds the clusters in
+// reverse importance order.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace sthist;
+  using namespace sthist::bench;
+
+  Scale scale = GetScale();
+  PrintBanner("Figure 13 — Sky[1%], with reversed-order initialization",
+              scale);
+
+  Experiment experiment(BenchSky(scale));
+
+  FigureSpec spec;
+  spec.title = "Sky[1%] normalized absolute error";
+  spec.bucket_counts = scale.bucket_sweep;
+  spec.base.train_queries = scale.train_queries;
+  spec.base.sim_queries = scale.sim_queries;
+  spec.base.volume_fraction = 0.01;
+  spec.base.mineclus = SkyMineClus();
+  spec.series = {
+      {"uninit", false, false, {0.640, 0.620, 0.590, 0.560, 0.540}},
+      {"init", true, false, {0.320, 0.280, 0.270, 0.265, 0.260}},
+      {"init-rev", true, true, {0.420, 0.390, 0.370, 0.355, 0.340}},
+  };
+  RunFigure(&experiment, spec);
+
+  std::printf("expected shape: init roughly halves the uninit error; the "
+              "reversed feeding order lands in between (sensitivity to the "
+              "order of learning).\n");
+  return 0;
+}

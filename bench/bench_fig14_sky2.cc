@@ -1,0 +1,33 @@
+// Figure 14: the Sky dataset with 2%-volume queries — the initialized
+// histogram's error barely moves vs Figure 13 while the uninitialized one
+// degrades (robustness to query volume).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace sthist;
+  using namespace sthist::bench;
+
+  Scale scale = GetScale();
+  PrintBanner("Figure 14 — Sky[2%], robustness to query volume", scale);
+
+  Experiment experiment(BenchSky(scale));
+
+  FigureSpec spec;
+  spec.title = "Sky[2%] normalized absolute error";
+  spec.bucket_counts = scale.bucket_sweep;
+  spec.base.train_queries = scale.train_queries;
+  spec.base.sim_queries = scale.sim_queries;
+  spec.base.volume_fraction = 0.02;
+  spec.base.mineclus = SkyMineClus();
+  spec.series = {
+      {"uninit", false, false, {0.720, 0.680, 0.640, 0.610, 0.580}},
+      {"init", true, false, {0.400, 0.300, 0.280, 0.270, 0.260}},
+  };
+  RunFigure(&experiment, spec);
+
+  std::printf("expected shape: except possibly at 50 buckets, the "
+              "initialized error matches Figure 13 — the uninitialized one "
+              "is clearly worse than at 1%% volume.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Lemmas 1-3 (§3.2): storage vs detectability thresholds, measured. For a
+// uniform m x k cluster and for a cluster with a dense core, report the grid
+// error of (a) the optimal stored configuration and (b) self-tuning at each
+// bucket budget, under unit grid queries.
+
+#include <cmath>
+
+#include "bench_common.h"
+
+#include "eval/table.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace sthist;
+
+void FillCells(const Box& cells, size_t density, Dataset* data) {
+  for (int x = static_cast<int>(cells.lo(0)); x < cells.hi(0); ++x) {
+    for (int y = static_cast<int>(cells.lo(1)); y < cells.hi(1); ++y) {
+      for (size_t k = 0; k < density; ++k) {
+        double frac =
+            (static_cast<double>(k) + 0.5) / static_cast<double>(density);
+        data->Append(Point{x + frac, y + 0.5});
+      }
+    }
+  }
+}
+
+double GridError(const STHoles& hist, const Workload& cells,
+                 const Executor& executor) {
+  double total = 0;
+  for (const Box& cell : cells) {
+    total += std::abs(hist.Estimate(cell) - executor.Count(cell));
+  }
+  return total / static_cast<double>(cells.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace sthist;
+  using namespace sthist::bench;
+
+  Scale scale = GetScale();
+  PrintBanner("Lemmas 1-3 — storage vs detectability thresholds", scale);
+
+  const size_t kGrid = 10;
+  Box domain = Box::Cube(2, 0, static_cast<double>(kGrid));
+  Workload cells = MakeGridWorkload(domain, kGrid, 7);
+
+  // Scenario A: uniform 5x3 cluster (Lemma 2).
+  {
+    Dataset data(2);
+    Box cluster({2.0, 3.0}, {7.0, 6.0});
+    FillCells(cluster, 8, &data);
+    Executor executor(data);
+
+    TablePrinter table({"budget", "stored error", "self-tuned error",
+                        "verdict"});
+    for (size_t budget : {1u, 2u, 3u, 5u}) {
+      STHolesConfig config;
+      config.max_buckets = budget;
+
+      STHoles stored(domain, static_cast<double>(data.size()), config);
+      stored.Refine(cluster, executor);
+      double stored_err = GridError(stored, cells, executor);
+
+      STHoles tuned(domain, static_cast<double>(data.size()), config);
+      for (int epoch = 0; epoch < 6; ++epoch) {
+        for (const Box& cell : cells) tuned.Refine(cell, executor);
+      }
+      double tuned_err = GridError(tuned, cells, executor);
+
+      table.AddRow({FormatSize(budget), FormatDouble(stored_err, 3),
+                    FormatDouble(tuned_err, 3),
+                    tuned_err > stored_err + 0.3 ? "stagnates"
+                                                 : "detects"});
+    }
+    std::printf("uniform 5x3 cluster, unit grid queries "
+                "(sigma = 1, omega = 2):\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  // Scenario B: 6x6 cluster with a dense unit core, core queried first
+  // (Lemma 3).
+  {
+    Dataset data(2);
+    Box cluster({2.0, 2.0}, {8.0, 8.0});
+    Box core({4.0, 4.0}, {5.0, 5.0});
+    FillCells(cluster, 4, &data);
+    FillCells(core, 36, &data);  // Total core density 40 = gamma > 3.
+    Executor executor(data);
+
+    TablePrinter table({"budget", "stored error", "self-tuned error",
+                        "verdict"});
+    for (size_t budget : {2u, 3u, 5u, 10u}) {
+      STHolesConfig config;
+      config.max_buckets = budget;
+
+      STHoles stored(domain, static_cast<double>(data.size()), config);
+      stored.Refine(cluster, executor);
+      stored.Refine(core, executor);
+      double stored_err = GridError(stored, cells, executor);
+
+      STHoles tuned(domain, static_cast<double>(data.size()), config);
+      tuned.Refine(core, executor);  // The lemma's precondition.
+      for (int epoch = 0; epoch < 6; ++epoch) {
+        for (const Box& cell : cells) tuned.Refine(cell, executor);
+      }
+      double tuned_err = GridError(tuned, cells, executor);
+
+      table.AddRow({FormatSize(budget), FormatDouble(stored_err, 3),
+                    FormatDouble(tuned_err, 3),
+                    tuned_err > stored_err + 0.3 ? "stagnates"
+                                                 : "detects"});
+    }
+    std::printf("6x6 cluster with dense core (gamma = 40), core captured "
+                "first (sigma = 2, omega > 2):\n");
+    table.Print();
+  }
+
+  std::printf("\nexpected shape: storing always achieves ~0 error at the "
+              "storage threshold; self-tuning needs strictly more budget and "
+              "stagnates below it.\n");
+  return 0;
+}

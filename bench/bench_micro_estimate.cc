@@ -1,0 +1,62 @@
+// Micro-benchmark: STHoles estimation cost as a function of bucket count.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace sthist;
+
+struct Fixture {
+  GeneratedData g;
+  Executor executor;
+  Workload queries;
+
+  explicit Fixture(size_t buckets)
+      : g(MakeGauss([] {
+          GaussConfig config;
+          config.cluster_tuples = 30000;
+          config.noise_tuples = 3000;
+          return config;
+        }())),
+        executor(g.data) {
+    WorkloadConfig wc;
+    wc.num_queries = 200;
+    wc.volume_fraction = 0.01;
+    queries = MakeWorkload(g.domain, wc);
+    STHolesConfig hc;
+    hc.max_buckets = buckets;
+    hist = std::make_unique<STHoles>(g.domain,
+                                     static_cast<double>(g.data.size()), hc);
+    for (const Box& q : queries) hist->Refine(q, executor);
+  }
+
+  std::unique_ptr<STHoles> hist;
+};
+
+void BM_Estimate(benchmark::State& state) {
+  static Fixture* fixtures[4] = {nullptr, nullptr, nullptr, nullptr};
+  int slot = state.range(0) == 10    ? 0
+             : state.range(0) == 50  ? 1
+             : state.range(0) == 100 ? 2
+                                     : 3;
+  if (fixtures[slot] == nullptr) {
+    fixtures[slot] = new Fixture(static_cast<size_t>(state.range(0)));
+  }
+  Fixture& f = *fixtures[slot];
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.hist->Estimate(f.queries[i]));
+    i = (i + 1) % f.queries.size();
+  }
+  state.counters["buckets"] =
+      static_cast<double>(f.hist->bucket_count());
+}
+
+BENCHMARK(BM_Estimate)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
+
+}  // namespace

@@ -1,0 +1,60 @@
+// Micro-benchmark: k-d tree range counting vs the naive scan it replaces,
+// across dataset sizes and query volumes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "data/generators.h"
+#include "index/kdtree.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace sthist;
+
+GeneratedData MakeData(size_t tuples) {
+  GaussConfig config;
+  config.cluster_tuples = tuples * 9 / 10;
+  config.noise_tuples = tuples / 10;
+  return MakeGauss(config);
+}
+
+void BM_KdTreeCount(benchmark::State& state) {
+  GeneratedData g = MakeData(static_cast<size_t>(state.range(0)));
+  KdTree tree(g.data);
+  WorkloadConfig wc;
+  wc.num_queries = 200;
+  wc.volume_fraction = 0.01;
+  Workload queries = MakeWorkload(g.domain, wc);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Count(queries[i]));
+    i = (i + 1) % queries.size();
+  }
+}
+BENCHMARK(BM_KdTreeCount)->Arg(10000)->Arg(100000)->Arg(500000);
+
+void BM_NaiveScanCount(benchmark::State& state) {
+  GeneratedData g = MakeData(static_cast<size_t>(state.range(0)));
+  WorkloadConfig wc;
+  wc.num_queries = 50;
+  wc.volume_fraction = 0.01;
+  Workload queries = MakeWorkload(g.domain, wc);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.data.CountInBox(queries[i]));
+    i = (i + 1) % queries.size();
+  }
+}
+BENCHMARK(BM_NaiveScanCount)->Arg(10000)->Arg(100000);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  GeneratedData g = MakeData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    KdTree tree(g.data);
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(10000)->Arg(100000);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Micro-benchmark: MineClus end-to-end runtime vs dataset size and
+// dimensionality, plus the FP-tree miner alone.
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/fptree.h"
+#include "clustering/mineclus.h"
+#include "core/rng.h"
+#include "data/generators.h"
+
+namespace {
+
+using namespace sthist;
+
+void BM_MineClusGauss(benchmark::State& state) {
+  GaussConfig config;
+  config.cluster_tuples = static_cast<size_t>(state.range(0)) * 9 / 10;
+  config.noise_tuples = static_cast<size_t>(state.range(0)) / 10;
+  GeneratedData g = MakeGauss(config);
+  MineClusConfig mc;
+  mc.alpha = 0.02;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunMineClus(g.data, g.domain, mc));
+  }
+}
+BENCHMARK(BM_MineClusGauss)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_MineClusDims(benchmark::State& state) {
+  GaussConfig config;
+  config.dim = static_cast<size_t>(state.range(0));
+  config.max_subspace_dims = std::min<size_t>(5, config.dim);
+  config.cluster_tuples = 20000;
+  config.noise_tuples = 2000;
+  GeneratedData g = MakeGauss(config);
+  MineClusConfig mc;
+  mc.alpha = 0.02;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunMineClus(g.data, g.domain, mc));
+  }
+}
+BENCHMARK(BM_MineClusDims)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_FpTreeMineBest(benchmark::State& state) {
+  Rng rng(5);
+  const size_t num_items = static_cast<size_t>(state.range(0));
+  std::vector<WeightedTransaction> txs;
+  for (int i = 0; i < 20000; ++i) {
+    WeightedTransaction t;
+    for (size_t item = 0; item < num_items; ++item) {
+      if (rng.Bernoulli(0.3)) t.items.push_back(static_cast<int>(item));
+    }
+    if (!t.items.empty()) txs.push_back(std::move(t));
+  }
+  for (auto _ : state) {
+    FpTree tree(txs, num_items, 200.0);
+    benchmark::DoNotOptimize(tree.MineBest(4.0));
+  }
+}
+BENCHMARK(BM_FpTreeMineBest)->Arg(7)->Arg(12)->Arg(18)->Unit(benchmark::kMillisecond);
+
+}  // namespace

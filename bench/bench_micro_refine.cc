@@ -1,0 +1,45 @@
+// Micro-benchmark: cost of one Refine (drill + merge) at various budgets.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace sthist;
+
+void BM_Refine(benchmark::State& state) {
+  static GeneratedData* g = nullptr;
+  static Executor* executor = nullptr;
+  if (g == nullptr) {
+    CrossConfig config;
+    config.tuples_per_cluster = 20000;
+    config.noise_tuples = 4000;
+    g = new GeneratedData(MakeCross(config));
+    executor = new Executor(g->data);
+  }
+
+  WorkloadConfig wc;
+  wc.num_queries = 500;
+  wc.volume_fraction = 0.01;
+  wc.seed = 9;
+  Workload queries = MakeWorkload(g->domain, wc);
+
+  STHolesConfig hc;
+  hc.max_buckets = static_cast<size_t>(state.range(0));
+  STHoles hist(g->domain, static_cast<double>(g->data.size()), hc);
+
+  size_t i = 0;
+  for (auto _ : state) {
+    hist.Refine(queries[i], *executor);
+    i = (i + 1) % queries.size();
+  }
+  state.counters["buckets"] = static_cast<double>(hist.bucket_count());
+}
+
+BENCHMARK(BM_Refine)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
+
+}  // namespace

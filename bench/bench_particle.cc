@@ -1,0 +1,50 @@
+// Technical-report extra: the 18-dimensional particle-physics dataset
+// (synthetic substitute). The paper reports initialization cutting the error
+// by 30-50% at this dimensionality, with noticeably longer simulations.
+
+#include "bench_common.h"
+
+#include "eval/table.h"
+
+int main() {
+  using namespace sthist;
+  using namespace sthist::bench;
+
+  Scale scale = GetScale();
+  PrintBanner("18-d particle dataset — high-dimensional stress", scale);
+
+  ParticleConfig data_config;
+  if (scale.full) {
+    data_config.cluster_tuples = 400000;
+    data_config.noise_tuples = 100000;
+  }
+  Experiment experiment(MakeParticle(data_config));
+  std::printf("dataset: %zu tuples, %zu dims\n\n", experiment.data().size(),
+              experiment.data().dim());
+
+  TablePrinter table({"buckets", "uninit NAE", "init NAE", "reduction %",
+                      "sim s"});
+  for (size_t buckets : {50u, 100u, 250u}) {
+    ExperimentConfig config;
+    config.buckets = buckets;
+    config.train_queries = scale.train_queries / 2;
+    config.sim_queries = scale.sim_queries / 2;
+    config.volume_fraction = 0.01;
+    config.mineclus.alpha = 0.02;
+    config.mineclus.width_fraction = 0.05;
+
+    ExperimentResult uninit = experiment.Run(config);
+    config.initialize = true;
+    ExperimentResult init = experiment.Run(config);
+
+    table.AddRow({FormatSize(buckets), FormatDouble(uninit.nae, 3),
+                  FormatDouble(init.nae, 3),
+                  FormatDouble(100.0 * (1.0 - init.nae / uninit.nae), 1),
+                  FormatDouble(init.sim_seconds, 2)});
+  }
+  table.Print();
+  std::printf("\nexpected shape: 30-50%% error reduction from "
+              "initialization, as in the technical report's 18-d "
+              "experiment.\n");
+  return 0;
+}

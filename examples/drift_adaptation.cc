@@ -1,0 +1,81 @@
+// Self-tuning histograms stay up to date when the data changes — static
+// histograms must be rebuilt (paper §1). This example streams queries
+// against a dataset whose clusters move halfway through the run: the static
+// equi-width grid goes stale, while STHoles keeps refining from feedback and
+// recovers within a few hundred queries.
+//
+//   ./drift_adaptation
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/generators.h"
+#include "histogram/equiwidth.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+int main() {
+  using namespace sthist;
+
+  // Two snapshots of the "same" relation: after the drift, the Gaussian
+  // clusters sit in different subspaces and positions.
+  GaussConfig before_config;
+  before_config.cluster_tuples = 50000;
+  before_config.noise_tuples = 5000;
+  before_config.seed = 2;
+  GeneratedData before = MakeGauss(before_config);
+
+  GaussConfig after_config = before_config;
+  after_config.seed = 77;  // Different cluster placement, same schema.
+  GeneratedData after = MakeGauss(after_config);
+
+  Executor exec_before(before.data);
+  Executor exec_after(after.data);
+  const double n = static_cast<double>(before.data.size());
+
+  // Both histograms are built/trained against the pre-drift data.
+  EquiWidthHistogram static_grid(before.data, before.domain, 4);  // 4^6 cells.
+  STHolesConfig config;
+  config.max_buckets = 150;
+  STHoles adaptive(before.domain, n, config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 1500;
+  wc.volume_fraction = 0.01;
+  Workload stream = MakeWorkload(before.domain, wc);
+  const size_t drift_at = stream.size() / 2;
+
+  std::printf("query stream: %zu queries, data drifts after query %zu\n",
+              stream.size(), drift_at);
+  std::printf("static grid: %zu cells (built pre-drift); adaptive STHoles: "
+              "%zu-bucket budget\n\n",
+              static_grid.bucket_count(), config.max_buckets);
+  std::printf("%-12s %16s %16s\n", "window", "static MAE", "adaptive MAE");
+
+  const size_t kWindow = 150;
+  double static_err = 0, adaptive_err = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const Executor& executor = i < drift_at ? exec_before : exec_after;
+    double real = executor.Count(stream[i]);
+    static_err += std::abs(static_grid.Estimate(stream[i]) - real);
+    adaptive_err += std::abs(adaptive.Estimate(stream[i]) - real);
+    adaptive.Refine(stream[i], executor);
+
+    if ((i + 1) % kWindow == 0) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "%zu-%zu%s", i + 1 - kWindow,
+                    i + 1, i + 1 == drift_at + kWindow ? "  <- drift" : "");
+      std::printf("%-12s %16.1f %16.1f\n", label,
+                  static_err / static_cast<double>(kWindow),
+                  adaptive_err / static_cast<double>(kWindow));
+      static_err = adaptive_err = 0;
+    }
+  }
+
+  std::printf(
+      "\nexpected: comparable errors before the drift; afterwards the static "
+      "grid's error jumps and stays high, while the self-tuning histogram "
+      "recovers as feedback about the new distribution arrives.\n");
+  return 0;
+}

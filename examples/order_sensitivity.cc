@@ -1,0 +1,66 @@
+// Reproduces the paper's Example 1 / Figure 4: two queries over a small
+// cluster, learned in both orders under a 2-bucket budget, end in visibly
+// different bucket trees — the order of learning queries shapes the
+// histogram.
+//
+//   ./order_sensitivity
+
+#include <cstdio>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "histogram/census.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+
+int main() {
+  using namespace sthist;
+
+  // A dense square cluster in the upper-right quadrant, nothing elsewhere —
+  // the Figure 4 setting.
+  Dataset data(2);
+  Rng rng(4);
+  Point p(2);
+  for (int i = 0; i < 2000; ++i) {
+    p[0] = rng.Uniform(55, 95);
+    p[1] = rng.Uniform(55, 95);
+    data.Append(p);
+  }
+  Executor executor(data);
+  Box domain = Box::Cube(2, 0, 100);
+
+  // Query A captures the cluster tightly; query B is a sloppy rectangle
+  // covering only the cluster's lower-left corner plus empty space.
+  Box query_a({55.0, 55.0}, {95.0, 95.0});
+  Box query_b({40.0, 40.0}, {75.0, 75.0});
+
+  STHolesConfig config;
+  config.max_buckets = 2;
+
+  auto run_order = [&](const Box& first, const Box& second,
+                       const char* label) {
+    STHoles hist(domain, static_cast<double>(data.size()), config);
+    hist.Refine(first, executor);
+    hist.Refine(second, executor);
+    std::printf("---- order: %s ----\n%s", label,
+                FormatBucketTree(hist).c_str());
+    Workload probes = {query_a, query_b, Box({60.0, 60.0}, {90.0, 90.0}),
+                       Box({10.0, 10.0}, {40.0, 40.0})};
+    std::printf("mean abs error over probe queries: %.1f\n\n",
+                MeanAbsoluteError(hist, probes, executor));
+  };
+
+  std::printf("Two queries, two orders, budget = 2 buckets (Figure 4).\n");
+  std::printf("Query A (tight): %s\n", query_a.ToString().c_str());
+  std::printf("Query B (sloppy): %s\n\n", query_b.ToString().c_str());
+
+  run_order(query_a, query_b, "A then B (good: tight bucket first)");
+  run_order(query_b, query_a, "B then A (bad: sloppy bucket first)");
+
+  std::printf(
+      "The histogram favors existing buckets over new ones: when the sloppy\n"
+      "rectangle arrives first, the informative second query is shrunk\n"
+      "around it, and the final 2-bucket layout misses part of the cluster.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#ifndef STHIST_CLUSTERING_CLUSTERER_H_
+#define STHIST_CLUSTERING_CLUSTERER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clustering/mineclus.h"
+#include "core/box.h"
+#include "data/dataset.h"
+
+namespace sthist {
+
+/// Interface for subspace clustering algorithms usable as histogram
+/// initializers. The paper's earlier study (Khachatryan et al., SSDBM'11)
+/// compared six subspace clusterers in this role and found MineClus best;
+/// the library ships MineClus (the default), CLIQUE and DOC behind this
+/// interface so the comparison can be reproduced (`bench_ablation_clusterer`).
+class SubspaceClusterer {
+ public:
+  virtual ~SubspaceClusterer() = default;
+
+  /// Runs the algorithm over `data` within `domain`. Clusters are returned
+  /// sorted by descending importance score.
+  virtual std::vector<SubspaceCluster> Cluster(const Dataset& data,
+                                               const Box& domain) const = 0;
+
+  /// Human-readable algorithm name.
+  virtual std::string name() const = 0;
+};
+
+/// MineClus behind the common interface.
+class MineClusClusterer : public SubspaceClusterer {
+ public:
+  explicit MineClusClusterer(MineClusConfig config) : config_(config) {}
+
+  std::vector<SubspaceCluster> Cluster(const Dataset& data,
+                                       const Box& domain) const override {
+    return RunMineClus(data, domain, config_);
+  }
+
+  std::string name() const override { return "mineclus"; }
+
+ private:
+  MineClusConfig config_;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_CLUSTERING_CLUSTERER_H_

@@ -1,0 +1,137 @@
+#include "clustering/fptree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sthist {
+
+FpTree::FpTree(const std::vector<WeightedTransaction>& transactions,
+               size_t num_items, double min_support)
+    : num_items_(num_items), min_support_(min_support) {
+  STHIST_CHECK(num_items > 0);
+  item_support_.assign(num_items, 0.0);
+  header_heads_.assign(num_items, -1);
+  order_rank_.assign(num_items, -1);
+
+  for (const WeightedTransaction& t : transactions) {
+    for (int item : t.items) {
+      STHIST_DCHECK(item >= 0 && static_cast<size_t>(item) < num_items);
+      item_support_[item] += t.weight;
+    }
+  }
+
+  // Canonical insertion order: descending support. Mining order (ascending
+  // support) is the reverse; both exclude infrequent items.
+  std::vector<int> by_desc_support;
+  for (int i = 0; i < static_cast<int>(num_items); ++i) {
+    if (item_support_[i] >= min_support_) by_desc_support.push_back(i);
+  }
+  std::sort(by_desc_support.begin(), by_desc_support.end(), [this](int a, int b) {
+    if (item_support_[a] != item_support_[b]) {
+      return item_support_[a] > item_support_[b];
+    }
+    return a < b;
+  });
+  for (size_t rank = 0; rank < by_desc_support.size(); ++rank) {
+    order_rank_[by_desc_support[rank]] = static_cast<int>(rank);
+  }
+  frequent_items_.assign(by_desc_support.rbegin(), by_desc_support.rend());
+
+  nodes_.emplace_back();  // Root.
+
+  std::vector<int> filtered;
+  for (const WeightedTransaction& t : transactions) {
+    filtered.clear();
+    for (int item : t.items) {
+      if (order_rank_[item] >= 0) filtered.push_back(item);
+    }
+    if (filtered.empty()) continue;
+    std::sort(filtered.begin(), filtered.end(),
+              [this](int a, int b) { return order_rank_[a] < order_rank_[b]; });
+    Insert(filtered, t.weight);
+  }
+}
+
+void FpTree::Insert(const std::vector<int>& sorted_items, double weight) {
+  int current = 0;  // Root.
+  for (int item : sorted_items) {
+    int next = -1;
+    for (int child : nodes_[current].children) {
+      if (nodes_[child].item == item) {
+        next = child;
+        break;
+      }
+    }
+    if (next < 0) {
+      next = static_cast<int>(nodes_.size());
+      Node node;
+      node.item = item;
+      node.parent = current;
+      node.header_next = header_heads_[item];
+      header_heads_[item] = next;
+      nodes_.push_back(std::move(node));
+      nodes_[current].children.push_back(next);
+    }
+    nodes_[next].count += weight;
+    current = next;
+  }
+}
+
+FpTree FpTree::ConditionalTree(int item) const {
+  std::vector<WeightedTransaction> base;
+  for (int node_id = header_heads_[item]; node_id >= 0;
+       node_id = nodes_[node_id].header_next) {
+    WeightedTransaction t;
+    t.weight = nodes_[node_id].count;
+    for (int up = nodes_[node_id].parent; up > 0; up = nodes_[up].parent) {
+      t.items.push_back(nodes_[up].item);
+    }
+    if (!t.items.empty() && t.weight > 0.0) base.push_back(std::move(t));
+  }
+  return FpTree(base, num_items_, min_support_);
+}
+
+BestItemset FpTree::MineBest(double gain, size_t min_items) const {
+  STHIST_CHECK(gain >= 1.0);
+  BestItemset best;
+  std::vector<int> prefix;
+  Mine(gain, min_items, &prefix, &best);
+  return best;
+}
+
+void FpTree::Mine(double gain, size_t min_items, std::vector<int>* prefix,
+                  BestItemset* best) const {
+  for (int item : frequent_items_) {
+    double support = item_support_[item];
+    prefix->push_back(item);
+
+    if (prefix->size() >= min_items) {
+      double score =
+          support * std::pow(gain, static_cast<double>(prefix->size()));
+      if (score > best->score) {
+        best->items = *prefix;
+        std::sort(best->items.begin(), best->items.end());
+        best->support = support;
+        best->score = score;
+      }
+    }
+
+    // Branch-and-bound: extensions live in the conditional tree and cannot
+    // exceed the current support, so score <= support * gain^(|prefix| + k)
+    // where k is the number of frequent items in the conditional tree.
+    FpTree conditional = ConditionalTree(item);
+    size_t k = conditional.frequent_item_count();
+    if (k > 0) {
+      double bound = support *
+                     std::pow(gain, static_cast<double>(prefix->size() + k));
+      if (bound > best->score && prefix->size() + k >= min_items) {
+        conditional.Mine(gain, min_items, prefix, best);
+      }
+    }
+    prefix->pop_back();
+  }
+}
+
+}  // namespace sthist

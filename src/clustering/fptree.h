@@ -1,0 +1,83 @@
+#ifndef STHIST_CLUSTERING_FPTREE_H_
+#define STHIST_CLUSTERING_FPTREE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sthist {
+
+/// A weighted transaction: a set of item ids plus a multiplicity.
+struct WeightedTransaction {
+  std::vector<int> items;  // Distinct, unsorted item ids in [0, num_items).
+  double weight = 1.0;
+};
+
+/// The best itemset found by a mining pass.
+struct BestItemset {
+  std::vector<int> items;
+  double support = 0.0;
+  /// The MineClus quality mu = support * gain^|items|; negative when no
+  /// itemset met the support threshold.
+  double score = -1.0;
+};
+
+/// FP-tree with best-itemset mining (FP-growth with branch-and-bound).
+///
+/// This is the frequent-pattern engine behind MineClus (Yiu & Mamoulis,
+/// ICDM'03): transactions are the per-point sets of dimensions that lie
+/// within the cluster window of a medoid, and the miner searches for the
+/// dimension set maximizing mu(support, |D|) = support * (1/beta)^|D|
+/// subject to a minimum support (the alpha density threshold).
+class FpTree {
+ public:
+  /// Builds the tree. Items with support below `min_support` are dropped up
+  /// front (they can never appear in a qualifying itemset).
+  FpTree(const std::vector<WeightedTransaction>& transactions,
+         size_t num_items, double min_support);
+
+  /// Finds the itemset with the highest mu = support * gain^|items| among
+  /// itemsets with support >= min_support and at least `min_items` items.
+  /// Requires gain >= 1 (beta <= 1), which makes the branch-and-bound upper
+  /// bound valid: extending a prefix can multiply its score by at most
+  /// gain^(remaining items).
+  BestItemset MineBest(double gain, size_t min_items = 1) const;
+
+  /// Total support (weight) of item `i` in this tree.
+  double ItemSupport(int item) const { return item_support_[item]; }
+
+  /// Number of distinct frequent items retained.
+  size_t frequent_item_count() const { return frequent_items_.size(); }
+
+ private:
+  struct Node {
+    int item = -1;       // -1 for the root.
+    double count = 0.0;
+    int parent = -1;
+    int header_next = -1;            // Next node holding the same item.
+    std::vector<int> children;       // Node indices.
+  };
+
+  // Inserts a transaction whose items are already filtered to frequent items
+  // and sorted in the tree's canonical (descending-support) order.
+  void Insert(const std::vector<int>& sorted_items, double weight);
+
+  // Recursive FP-growth step on this (conditional) tree.
+  void Mine(double gain, size_t min_items, std::vector<int>* prefix,
+            BestItemset* best) const;
+
+  // Builds the conditional tree for `item` (pattern base of paths above its
+  // nodes, weighted by node counts).
+  FpTree ConditionalTree(int item) const;
+
+  size_t num_items_;
+  double min_support_;
+  std::vector<Node> nodes_;
+  std::vector<int> header_heads_;     // Per item: first node index or -1.
+  std::vector<double> item_support_;  // Per item: total weight.
+  std::vector<int> frequent_items_;   // Ascending support order.
+  std::vector<int> order_rank_;       // Per item: insertion rank (-1 if rare).
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_CLUSTERING_FPTREE_H_

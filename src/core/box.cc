@@ -1,0 +1,119 @@
+#include "core/box.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sthist {
+
+Box::Box(std::vector<double> lo, std::vector<double> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  STHIST_CHECK(lo_.size() == hi_.size());
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    STHIST_CHECK_MSG(lo_[d] <= hi_[d], "dim %zu: lo=%g hi=%g", d, lo_[d],
+                     hi_[d]);
+  }
+}
+
+Box Box::Cube(size_t dim, double lo, double hi) {
+  return Box(std::vector<double>(dim, lo), std::vector<double>(dim, hi));
+}
+
+double Box::Volume() const {
+  double v = 1.0;
+  for (size_t d = 0; d < dim(); ++d) v *= Extent(d);
+  return v;
+}
+
+bool Box::ContainsPoint(std::span<const double> p) const {
+  STHIST_DCHECK(p.size() == dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    if (p[d] < lo_[d] || p[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool Box::Contains(const Box& other) const {
+  STHIST_DCHECK(other.dim() == dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    if (other.lo_[d] < lo_[d] || other.hi_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool Box::Intersects(const Box& other) const {
+  STHIST_DCHECK(other.dim() == dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    if (other.hi_[d] <= lo_[d] || other.lo_[d] >= hi_[d]) return false;
+  }
+  return true;
+}
+
+Box Box::Intersection(const Box& other) const {
+  STHIST_DCHECK(other.dim() == dim());
+  std::vector<double> lo(dim()), hi(dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    lo[d] = std::max(lo_[d], other.lo_[d]);
+    hi[d] = std::min(hi_[d], other.hi_[d]);
+    if (hi[d] < lo[d]) hi[d] = lo[d];  // Disjoint: clamp to a degenerate box.
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+double Box::IntersectionVolume(const Box& other) const {
+  STHIST_DCHECK(other.dim() == dim());
+  double v = 1.0;
+  for (size_t d = 0; d < dim(); ++d) {
+    double lo = std::max(lo_[d], other.lo_[d]);
+    double hi = std::min(hi_[d], other.hi_[d]);
+    if (hi <= lo) return 0.0;
+    v *= hi - lo;
+  }
+  return v;
+}
+
+Box Box::Enclosure(const Box& a, const Box& b) {
+  STHIST_CHECK(a.dim() == b.dim());
+  std::vector<double> lo(a.dim()), hi(a.dim());
+  for (size_t d = 0; d < a.dim(); ++d) {
+    lo[d] = std::min(a.lo_[d], b.lo_[d]);
+    hi[d] = std::max(a.hi_[d], b.hi_[d]);
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+void Box::ExtendToContain(const Box& other) {
+  STHIST_CHECK(other.dim() == dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    lo_[d] = std::min(lo_[d], other.lo_[d]);
+    hi_[d] = std::max(hi_[d], other.hi_[d]);
+  }
+}
+
+bool Box::operator==(const Box& other) const {
+  return lo_ == other.lo_ && hi_ == other.hi_;
+}
+
+bool Box::ApproxEquals(const Box& other, double eps) const {
+  if (other.dim() != dim()) return false;
+  for (size_t d = 0; d < dim(); ++d) {
+    if (std::abs(lo_[d] - other.lo_[d]) > eps) return false;
+    if (std::abs(hi_[d] - other.hi_[d]) > eps) return false;
+  }
+  return true;
+}
+
+std::string Box::ToString() const {
+  std::string out;
+  char buf[64];
+  for (size_t d = 0; d < dim(); ++d) {
+    std::snprintf(buf, sizeof(buf), "%s[%.4g,%.4g]", d == 0 ? "" : "x", lo_[d],
+                  hi_[d]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sthist

@@ -1,0 +1,95 @@
+#ifndef STHIST_CORE_BOX_H_
+#define STHIST_CORE_BOX_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sthist {
+
+/// A point in d-dimensional attribute-value space.
+using Point = std::vector<double>;
+
+/// Axis-aligned d-dimensional rectangle [lo_0,hi_0] x ... x [lo_{d-1},hi_{d-1}].
+///
+/// Boxes are the universal geometric currency of the library: histogram
+/// buckets, range queries, cluster bounding rectangles and the data domain
+/// are all boxes. Intervals are closed on both ends for point containment;
+/// all volume computations treat the boundary as measure zero, which matches
+/// the continuous attribute domains the paper assumes (categorical attributes
+/// are mapped to numbers upstream).
+class Box {
+ public:
+  /// Constructs an empty (0-dimensional) box.
+  Box() = default;
+
+  /// Constructs a box from per-dimension bounds. Requires lo.size() ==
+  /// hi.size() and lo[i] <= hi[i] for all i.
+  Box(std::vector<double> lo, std::vector<double> hi);
+
+  /// A box spanning [lo, hi] in every one of `dim` dimensions.
+  static Box Cube(size_t dim, double lo, double hi);
+
+  /// Number of dimensions.
+  size_t dim() const { return lo_.size(); }
+
+  /// Lower bound in dimension d.
+  double lo(size_t d) const { return lo_[d]; }
+  /// Upper bound in dimension d.
+  double hi(size_t d) const { return hi_[d]; }
+
+  /// Mutable access for in-place shrinking/growing. Callers must keep
+  /// lo <= hi.
+  void set_lo(size_t d, double v) { lo_[d] = v; }
+  void set_hi(size_t d, double v) { hi_[d] = v; }
+
+  /// Side length in dimension d.
+  double Extent(size_t d) const { return hi_[d] - lo_[d]; }
+
+  /// Product of all side lengths. A degenerate box has volume 0.
+  double Volume() const;
+
+  /// True when the point (closed intervals) lies inside the box.
+  bool ContainsPoint(std::span<const double> p) const;
+
+  /// True when `other` lies entirely within this box (closed; boundaries may
+  /// touch).
+  bool Contains(const Box& other) const;
+
+  /// True when the open interiors overlap, i.e. the intersection has positive
+  /// extent in every dimension. Boxes that merely share a boundary do not
+  /// intersect under this definition.
+  bool Intersects(const Box& other) const;
+
+  /// The geometric intersection. Returns a degenerate box (zero extent in at
+  /// least one dimension, clamped to be valid) when the interiors do not
+  /// overlap.
+  Box Intersection(const Box& other) const;
+
+  /// Volume of the intersection with `other` (0 when disjoint).
+  double IntersectionVolume(const Box& other) const;
+
+  /// The smallest box containing both inputs. Requires equal dimensionality.
+  static Box Enclosure(const Box& a, const Box& b);
+
+  /// Grows this box (in place) to contain `other`.
+  void ExtendToContain(const Box& other);
+
+  /// True when all bounds match exactly.
+  bool operator==(const Box& other) const;
+
+  /// True when all bounds match within `eps`.
+  bool ApproxEquals(const Box& other, double eps) const;
+
+  /// Human-readable form, e.g. "[0,1]x[2,5]".
+  std::string ToString() const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_CORE_BOX_H_

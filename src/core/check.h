@@ -1,0 +1,46 @@
+#ifndef STHIST_CORE_CHECK_H_
+#define STHIST_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Lightweight invariant-checking macros.
+///
+/// The library does not use exceptions across its public API. Internal
+/// invariant violations are programming errors and abort the process with a
+/// source location, in the spirit of CHECK in other database codebases.
+
+/// Aborts the process when `condition` is false, printing the failing
+/// expression and source location. Enabled in all build types.
+#define STHIST_CHECK(condition)                                             \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "STHIST_CHECK failed: %s at %s:%d\n", #condition, \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// STHIST_CHECK with a custom printf-style explanation appended.
+#define STHIST_CHECK_MSG(condition, ...)                                     \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "STHIST_CHECK failed: %s at %s:%d: ", #condition, \
+                   __FILE__, __LINE__);                                      \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Debug-only variant; compiles to nothing in NDEBUG builds.
+#ifdef NDEBUG
+#define STHIST_DCHECK(condition) \
+  do {                           \
+  } while (0)
+#else
+#define STHIST_DCHECK(condition) STHIST_CHECK(condition)
+#endif
+
+#endif  // STHIST_CORE_CHECK_H_

@@ -1,0 +1,51 @@
+#include "core/rng.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sthist {
+
+double Rng::Uniform(double lo, double hi) {
+  STHIST_DCHECK(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+size_t Rng::Index(size_t n) {
+  STHIST_CHECK(n > 0);
+  std::uniform_int_distribution<size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+int64_t Rng::Int(int64_t lo, int64_t hi) {
+  STHIST_CHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(std::clamp(p, 0.0, 1.0));
+  return dist(engine_);
+}
+
+std::vector<size_t> Rng::Sample(size_t n, size_t k) {
+  STHIST_CHECK(k <= n);
+  // Partial Fisher-Yates over an index vector; fine for the sample sizes the
+  // library draws (medoid candidates, noise points).
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace sthist

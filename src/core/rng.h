@@ -1,0 +1,59 @@
+#ifndef STHIST_CORE_RNG_H_
+#define STHIST_CORE_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sthist {
+
+/// Deterministic random number generator used across the library.
+///
+/// Thin wrapper around std::mt19937_64 with the handful of draws the
+/// generators, workloads and clustering need. Every component that consumes
+/// randomness takes an explicit seed so experiments are reproducible.
+class Rng {
+ public:
+  /// Creates a generator seeded with `seed`.
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform real in [0, 1).
+  double Uniform01() { return Uniform(0.0, 1.0); }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  size_t Index(size_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Int(int64_t lo, int64_t hi);
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      std::swap((*items)[i], (*items)[Index(i + 1)]);
+    }
+  }
+
+  /// Draws `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> Sample(size_t n, size_t k);
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_CORE_RNG_H_

@@ -1,0 +1,77 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace sthist {
+
+namespace {
+
+// Splits a CSV line on commas and parses each field as a double. Returns
+// false when any field fails to parse.
+bool ParseLine(const std::string& line, std::vector<double>* out) {
+  out->clear();
+  std::stringstream stream(line);
+  std::string field;
+  while (std::getline(stream, field, ',')) {
+    char* end = nullptr;
+    double value = std::strtod(field.c_str(), &end);
+    if (end == field.c_str()) return false;
+    // Allow trailing whitespace only.
+    while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+    if (*end != '\0') return false;
+    out->push_back(value);
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+bool WriteCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::span<const double> p = data.row(i);
+    for (size_t d = 0; d < p.size(); ++d) {
+      if (d > 0) out << ',';
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", p[d]);
+      out << buf;
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Dataset> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+
+  std::string line;
+  std::vector<double> fields;
+  std::optional<Dataset> data;
+  bool first_line = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!ParseLine(line, &fields)) {
+      if (first_line) {
+        first_line = false;  // Tolerate a header row.
+        continue;
+      }
+      return std::nullopt;
+    }
+    first_line = false;
+    if (!data.has_value()) {
+      data.emplace(fields.size());
+    } else if (fields.size() != data->dim()) {
+      return std::nullopt;
+    }
+    data->Append(fields);
+  }
+  if (!data.has_value()) return std::nullopt;
+  return data;
+}
+
+}  // namespace sthist

@@ -1,0 +1,257 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace sthist {
+
+namespace {
+
+// Appends `n` tuples drawn uniformly from `domain`.
+void AppendUniformNoise(const Box& domain, size_t n, Rng* rng, Dataset* data) {
+  Point p(domain.dim());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < domain.dim(); ++d) {
+      p[d] = rng->Uniform(domain.lo(d), domain.hi(d));
+    }
+    data->Append(p);
+  }
+}
+
+// Draws a Gaussian value clamped into [lo, hi].
+double ClampedGaussian(double mean, double sigma, double lo, double hi,
+                       Rng* rng) {
+  return std::clamp(rng->Gaussian(mean, sigma), lo, hi);
+}
+
+// Appends a subspace Gaussian bell: Gaussian around `center[d]` with
+// `sigma[d]` in the relevant dimensions, uniform over the domain elsewhere.
+// Returns the planted-cluster ground truth (extent = ±3σ clamped).
+PlantedCluster AppendSubspaceBell(const Box& domain,
+                                  const std::vector<size_t>& relevant_dims,
+                                  const std::vector<double>& center,
+                                  const std::vector<double>& sigma, size_t n,
+                                  Rng* rng, Dataset* data) {
+  const size_t dim = domain.dim();
+  std::vector<bool> is_relevant(dim, false);
+  for (size_t d : relevant_dims) is_relevant[d] = true;
+
+  Point p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      if (is_relevant[d]) {
+        p[d] = ClampedGaussian(center[d], sigma[d], domain.lo(d), domain.hi(d),
+                               rng);
+      } else {
+        p[d] = rng->Uniform(domain.lo(d), domain.hi(d));
+      }
+    }
+    data->Append(p);
+  }
+
+  std::vector<double> lo(dim), hi(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    if (is_relevant[d]) {
+      lo[d] = std::max(domain.lo(d), center[d] - 3.0 * sigma[d]);
+      hi[d] = std::min(domain.hi(d), center[d] + 3.0 * sigma[d]);
+    } else {
+      lo[d] = domain.lo(d);
+      hi[d] = domain.hi(d);
+    }
+  }
+  PlantedCluster cluster;
+  cluster.extent = Box(std::move(lo), std::move(hi));
+  cluster.relevant_dims = relevant_dims;
+  cluster.tuples = n;
+  return cluster;
+}
+
+}  // namespace
+
+GeneratedData MakeCross(const CrossConfig& config) {
+  STHIST_CHECK(config.dim >= 2);
+  STHIST_CHECK(config.domain_lo < config.domain_hi);
+  const size_t dim = config.dim;
+  const Box domain = Box::Cube(dim, config.domain_lo, config.domain_hi);
+  const double center = 0.5 * (config.domain_lo + config.domain_hi);
+  const double band_lo = center - config.band_halfwidth;
+  const double band_hi = center + config.band_halfwidth;
+  STHIST_CHECK(band_lo >= config.domain_lo && band_hi <= config.domain_hi);
+
+  Rng rng(config.seed);
+  GeneratedData out{Dataset(dim), domain, {}};
+  out.data.Reserve(dim * config.tuples_per_cluster + config.noise_tuples);
+
+  // Cluster i: uniform along axis i, narrow uniform band in all other dims.
+  Point p(dim);
+  for (size_t axis = 0; axis < dim; ++axis) {
+    for (size_t i = 0; i < config.tuples_per_cluster; ++i) {
+      for (size_t d = 0; d < dim; ++d) {
+        p[d] = (d == axis) ? rng.Uniform(config.domain_lo, config.domain_hi)
+                           : rng.Uniform(band_lo, band_hi);
+      }
+      out.data.Append(p);
+    }
+    std::vector<double> lo(dim, band_lo), hi(dim, band_hi);
+    lo[axis] = config.domain_lo;
+    hi[axis] = config.domain_hi;
+    PlantedCluster cluster;
+    cluster.extent = Box(std::move(lo), std::move(hi));
+    for (size_t d = 0; d < dim; ++d) {
+      if (d != axis) cluster.relevant_dims.push_back(d);
+    }
+    cluster.tuples = config.tuples_per_cluster;
+    out.truth.push_back(std::move(cluster));
+  }
+
+  AppendUniformNoise(domain, config.noise_tuples, &rng, &out.data);
+  return out;
+}
+
+GeneratedData MakeGauss(const GaussConfig& config) {
+  STHIST_CHECK(config.dim >= 2);
+  STHIST_CHECK(config.num_clusters > 0);
+  STHIST_CHECK(config.min_subspace_dims >= 1);
+  STHIST_CHECK(config.max_subspace_dims <= config.dim);
+  STHIST_CHECK(config.min_subspace_dims <= config.max_subspace_dims);
+
+  const size_t dim = config.dim;
+  const Box domain = Box::Cube(dim, config.domain_lo, config.domain_hi);
+  const double extent = config.domain_hi - config.domain_lo;
+
+  Rng rng(config.seed);
+  GeneratedData out{Dataset(dim), domain, {}};
+  out.data.Reserve(config.cluster_tuples + config.noise_tuples);
+
+  // Split the cluster tuple mass into num_clusters shares; keep shares
+  // within a factor ~3 of each other so no cluster degenerates.
+  std::vector<double> weights(config.num_clusters);
+  double total_weight = 0.0;
+  for (double& w : weights) {
+    w = rng.Uniform(1.0, 3.0);
+    total_weight += w;
+  }
+
+  size_t assigned = 0;
+  for (size_t c = 0; c < config.num_clusters; ++c) {
+    size_t n = (c + 1 == config.num_clusters)
+                   ? config.cluster_tuples - assigned
+                   : static_cast<size_t>(config.cluster_tuples * weights[c] /
+                                         total_weight);
+    assigned += n;
+
+    size_t k = static_cast<size_t>(rng.Int(
+        static_cast<int64_t>(config.min_subspace_dims),
+        static_cast<int64_t>(config.max_subspace_dims)));
+    std::vector<size_t> dims = rng.Sample(dim, k);
+    std::sort(dims.begin(), dims.end());
+
+    std::vector<double> center(dim), sigma(dim, 0.0);
+    for (size_t d = 0; d < dim; ++d) {
+      // Keep centers away from the border so bells are not heavily clipped.
+      center[d] = rng.Uniform(config.domain_lo + 0.15 * extent,
+                              config.domain_hi - 0.15 * extent);
+    }
+    for (size_t d : dims) sigma[d] = config.sigma_fraction * extent;
+
+    out.truth.push_back(AppendSubspaceBell(domain, dims, center, sigma, n,
+                                           &rng, &out.data));
+  }
+
+  AppendUniformNoise(domain, config.noise_tuples, &rng, &out.data);
+  return out;
+}
+
+GeneratedData MakeSky(const SkyConfig& config) {
+  STHIST_CHECK(config.tuples > 0);
+  STHIST_CHECK(config.noise_fraction >= 0.0 && config.noise_fraction < 1.0);
+
+  // Domain: right ascension, declination, then five filter magnitudes
+  // (u, g, r, i, z), mirroring the SDSS schema the paper uses.
+  const size_t kDim = 7;
+  std::vector<double> domain_lo = {0.0, -90.0, 10.0, 10.0, 10.0, 10.0, 10.0};
+  std::vector<double> domain_hi = {360.0, 90.0, 25.0, 25.0, 25.0, 25.0, 25.0};
+  const Box domain(domain_lo, domain_hi);
+
+  // The cluster skeleton follows Table 4 of the paper: per-cluster unused
+  // dimensions (1-indexed there) and tuple counts; counts are rescaled to the
+  // requested dataset size.
+  struct Skeleton {
+    std::vector<size_t> unused_dims;  // 0-indexed.
+    double weight;                    // Paper tuple count.
+  };
+  const std::vector<Skeleton> kSkeletons = {
+      {{}, 207377},           {{}, 178394},
+      {{}, 153161},           {{}, 121384},
+      {{}, 114699},           {{}, 83026},
+      {{0}, 218770},          {{}, 54760},
+      {{}, 50846},            {{}, 40067},
+      {{0}, 98438},           {{}, 21495},
+      {{}, 17522},            {{0, 1}, 153311},
+      {{0}, 17437},           {{0, 1}, 77112},
+      {{0, 1}, 39799},        {{0, 1, 6}, 21913},
+      {{0, 1, 2, 6}, 24084},  {{0, 1, 2, 4, 5}, 19236},
+  };
+
+  double weight_total = 0.0;
+  for (const Skeleton& s : kSkeletons) weight_total += s.weight;
+
+  const size_t noise_tuples =
+      static_cast<size_t>(config.tuples * config.noise_fraction);
+  const size_t cluster_tuples = config.tuples - noise_tuples;
+
+  Rng rng(config.seed);
+  GeneratedData out{Dataset(kDim), domain, {}};
+  out.data.Reserve(config.tuples);
+
+  size_t emitted = 0;
+  for (size_t c = 0; c < kSkeletons.size(); ++c) {
+    const Skeleton& skel = kSkeletons[c];
+    size_t n = (c + 1 == kSkeletons.size())
+                   ? cluster_tuples - emitted
+                   : static_cast<size_t>(cluster_tuples * skel.weight /
+                                         weight_total);
+    emitted += n;
+
+    std::vector<bool> unused(kDim, false);
+    for (size_t d : skel.unused_dims) unused[d] = true;
+    std::vector<size_t> relevant;
+    for (size_t d = 0; d < kDim; ++d) {
+      if (!unused[d]) relevant.push_back(d);
+    }
+
+    std::vector<double> center(kDim), sigma(kDim, 0.0);
+    for (size_t d = 0; d < kDim; ++d) {
+      double extent = domain.Extent(d);
+      center[d] = rng.Uniform(domain.lo(d) + 0.1 * extent,
+                              domain.hi(d) - 0.1 * extent);
+    }
+    for (size_t d : relevant) sigma[d] = 0.025 * domain.Extent(d);
+
+    out.truth.push_back(AppendSubspaceBell(domain, relevant, center, sigma, n,
+                                           &rng, &out.data));
+  }
+
+  AppendUniformNoise(domain, noise_tuples, &rng, &out.data);
+  return out;
+}
+
+GeneratedData MakeParticle(const ParticleConfig& config) {
+  GaussConfig gauss;
+  gauss.dim = config.dim;
+  gauss.num_clusters = config.num_clusters;
+  gauss.cluster_tuples = config.cluster_tuples;
+  gauss.noise_tuples = config.noise_tuples;
+  gauss.min_subspace_dims = config.min_subspace_dims;
+  gauss.max_subspace_dims = config.max_subspace_dims;
+  gauss.sigma_fraction = config.sigma_fraction;
+  gauss.domain_lo = config.domain_lo;
+  gauss.domain_hi = config.domain_hi;
+  gauss.seed = config.seed;
+  return MakeGauss(gauss);
+}
+
+}  // namespace sthist

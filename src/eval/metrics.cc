@@ -1,0 +1,49 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "histogram/trivial.h"
+
+namespace sthist {
+
+double MeanAbsoluteError(const Histogram& hist, const Workload& workload,
+                         const CardinalityOracle& oracle) {
+  STHIST_CHECK(!workload.empty());
+  double total = 0.0;
+  for (const Box& q : workload) {
+    total += std::abs(hist.Estimate(q) - oracle.Count(q));
+  }
+  return total / static_cast<double>(workload.size());
+}
+
+double SimulateAndMeasure(Histogram* hist, const Workload& workload,
+                          const CardinalityOracle& oracle, bool learn) {
+  STHIST_CHECK(hist != nullptr);
+  STHIST_CHECK(!workload.empty());
+  double total = 0.0;
+  for (const Box& q : workload) {
+    total += std::abs(hist->Estimate(q) - oracle.Count(q));
+    if (learn) hist->Refine(q, oracle);
+  }
+  return total / static_cast<double>(workload.size());
+}
+
+void Train(Histogram* hist, const Workload& workload,
+           const CardinalityOracle& oracle) {
+  STHIST_CHECK(hist != nullptr);
+  for (const Box& q : workload) {
+    hist->Refine(q, oracle);
+  }
+}
+
+double NormalizedAbsoluteError(double mean_absolute_error, const Box& domain,
+                               double total_tuples, const Workload& workload,
+                               const CardinalityOracle& oracle) {
+  TrivialHistogram trivial(domain, total_tuples);
+  double base = MeanAbsoluteError(trivial, workload, oracle);
+  STHIST_CHECK_MSG(base > 0.0, "trivial histogram has zero error");
+  return mean_absolute_error / base;
+}
+
+}  // namespace sthist

@@ -1,0 +1,34 @@
+#ifndef STHIST_EVAL_METRICS_H_
+#define STHIST_EVAL_METRICS_H_
+
+#include "histogram/histogram.h"
+#include "workload/workload.h"
+
+namespace sthist {
+
+/// Mean absolute estimation error over a workload (paper eq. 9):
+/// E(H, W) = (1/|W|) * sum_q |est(H, q) - real(q)|.
+/// Does not refine the histogram.
+double MeanAbsoluteError(const Histogram& hist, const Workload& workload,
+                         const CardinalityOracle& oracle);
+
+/// Runs the workload as a simulation: measures |est - real| for each query
+/// and, when `learn` is true, refines the histogram with the query's
+/// feedback before moving on (the paper's default simulation mode). Returns
+/// the mean absolute error across the workload.
+double SimulateAndMeasure(Histogram* hist, const Workload& workload,
+                          const CardinalityOracle& oracle, bool learn);
+
+/// Trains the histogram on the workload (refinement only, no measurement).
+void Train(Histogram* hist, const Workload& workload,
+           const CardinalityOracle& oracle);
+
+/// Normalized absolute error (paper eq. 10): E(H, W) / E(H0, W) where H0 is
+/// the trivial one-bucket histogram over `domain` with `total_tuples` mass.
+double NormalizedAbsoluteError(double mean_absolute_error, const Box& domain,
+                               double total_tuples, const Workload& workload,
+                               const CardinalityOracle& oracle);
+
+}  // namespace sthist
+
+#endif  // STHIST_EVAL_METRICS_H_

@@ -1,0 +1,113 @@
+#include "eval/runner.h"
+
+#include <chrono>
+
+#include "core/check.h"
+#include "eval/metrics.h"
+#include "histogram/census.h"
+#include "histogram/trivial.h"
+
+namespace sthist {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+Experiment::Experiment(GeneratedData generated)
+    : generated_(std::move(generated)), executor_(generated_.data) {}
+
+bool Experiment::SameMineClusConfig(const MineClusConfig& a,
+                                    const MineClusConfig& b) {
+  return a.alpha == b.alpha && a.beta == b.beta &&
+         a.width_fraction == b.width_fraction &&
+         a.max_clusters == b.max_clusters &&
+         a.medoids_per_round == b.medoids_per_round &&
+         a.max_failed_rounds == b.max_failed_rounds &&
+         a.min_cluster_dims == b.min_cluster_dims &&
+         a.merge_similar == b.merge_similar && a.seed == b.seed;
+}
+
+const std::vector<SubspaceCluster>& Experiment::Clusters(
+    const MineClusConfig& config) {
+  for (const ClusterCacheEntry& entry : cluster_cache_) {
+    if (SameMineClusConfig(entry.config, config)) return entry.clusters;
+  }
+  auto start = std::chrono::steady_clock::now();
+  ClusterCacheEntry entry;
+  entry.config = config;
+  entry.clusters = RunMineClus(generated_.data, generated_.domain, config);
+  entry.seconds = SecondsSince(start);
+  cluster_cache_.push_back(std::move(entry));
+  return cluster_cache_.back().clusters;
+}
+
+std::pair<Workload, Workload> Experiment::MakeWorkloads(
+    const ExperimentConfig& config) const {
+  WorkloadConfig wc;
+  wc.volume_fraction = config.volume_fraction;
+  wc.centers = config.centers;
+
+  wc.num_queries = config.train_queries;
+  wc.seed = config.workload_seed;
+  Workload train = MakeWorkload(generated_.domain, wc, &generated_.data);
+
+  wc.num_queries = config.sim_queries;
+  wc.seed = config.workload_seed + 1;
+  Workload sim = MakeWorkload(generated_.domain, wc, &generated_.data);
+  return {std::move(train), std::move(sim)};
+}
+
+ExperimentResult Experiment::Run(const ExperimentConfig& config) {
+  auto [train, sim] = MakeWorkloads(config);
+  return RunWithWorkloads(config, train, sim);
+}
+
+ExperimentResult Experiment::RunWithWorkloads(const ExperimentConfig& config,
+                                              const Workload& train,
+                                              const Workload& sim) {
+  STHIST_CHECK(!sim.empty());
+  ExperimentResult result;
+
+  STHolesConfig hist_config;
+  hist_config.max_buckets = config.buckets;
+  STHoles hist(generated_.domain, total_tuples(), hist_config);
+
+  if (config.initialize) {
+    const std::vector<SubspaceCluster>& clusters = Clusters(config.mineclus);
+    // Clusters are cached; report the cost of the original run.
+    for (const ClusterCacheEntry& entry : cluster_cache_) {
+      if (SameMineClusConfig(entry.config, config.mineclus)) {
+        result.clustering_seconds = entry.seconds;
+      }
+    }
+    result.clusters_found = clusters.size();
+    result.clusters_fed = InitializeHistogram(
+        clusters, generated_.domain, executor_, config.initializer, &hist);
+  }
+
+  auto train_start = std::chrono::steady_clock::now();
+  if (!train.empty()) Train(&hist, train, executor_);
+  result.train_seconds = SecondsSince(train_start);
+
+  auto sim_start = std::chrono::steady_clock::now();
+  result.mae =
+      SimulateAndMeasure(&hist, sim, executor_, config.learn_during_sim);
+  result.sim_seconds = SecondsSince(sim_start);
+
+  TrivialHistogram trivial(generated_.domain, total_tuples());
+  result.trivial_mae = MeanAbsoluteError(trivial, sim, executor_);
+  result.nae =
+      result.trivial_mae > 0.0 ? result.mae / result.trivial_mae : 0.0;
+
+  result.final_buckets = hist.bucket_count();
+  result.subspace_buckets = CensusSubspaceBuckets(hist).subspace_buckets;
+  return result;
+}
+
+}  // namespace sthist

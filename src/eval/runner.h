@@ -1,0 +1,108 @@
+#ifndef STHIST_EVAL_RUNNER_H_
+#define STHIST_EVAL_RUNNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "clustering/mineclus.h"
+#include "data/generators.h"
+#include "histogram/stholes.h"
+#include "init/initializer.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace sthist {
+
+/// One experiment cell: a histogram variant trained and evaluated on one
+/// dataset/workload combination, reproducing the paper's simulation
+/// methodology (§5.1: 1,000 training + 1,000 simulation queries; errors are
+/// measured over the simulation queries only, with refinement continuing
+/// unless disabled).
+struct ExperimentConfig {
+  /// STHoles bucket budget (the paper sweeps 50..250).
+  size_t buckets = 100;
+
+  size_t train_queries = 1000;
+  size_t sim_queries = 1000;
+  double volume_fraction = 0.01;
+  CenterDistribution centers = CenterDistribution::kUniform;
+  uint64_t workload_seed = 21;
+
+  /// Whether to initialize from subspace clusters before training.
+  bool initialize = false;
+  InitializerConfig initializer;
+  MineClusConfig mineclus;
+
+  /// The paper's default keeps refining during simulation; Fig. 17 turns
+  /// this off to isolate the effect of training volume.
+  bool learn_during_sim = true;
+};
+
+/// Measured outcome of one experiment cell.
+struct ExperimentResult {
+  double mae = 0.0;          // Mean absolute error over simulation queries.
+  double trivial_mae = 0.0;  // Same for the trivial histogram H0.
+  double nae = 0.0;          // mae / trivial_mae (paper eq. 10).
+  size_t final_buckets = 0;
+  size_t subspace_buckets = 0;  // Census after simulation.
+  size_t clusters_found = 0;
+  size_t clusters_fed = 0;
+  double clustering_seconds = 0.0;
+  double train_seconds = 0.0;
+  double sim_seconds = 0.0;
+};
+
+/// Shared state for a family of experiment cells over one dataset: owns the
+/// dataset, its executor (k-d tree), and caches MineClus outputs per
+/// distinct parameter set so bucket-budget sweeps don't re-cluster.
+class Experiment {
+ public:
+  explicit Experiment(GeneratedData generated);
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  const GeneratedData& generated() const { return generated_; }
+  const Dataset& data() const { return generated_.data; }
+  const Box& domain() const { return generated_.domain; }
+  const Executor& executor() const { return executor_; }
+  double total_tuples() const {
+    return static_cast<double>(generated_.data.size());
+  }
+
+  /// MineClus result for `config`, cached per distinct parameter set.
+  /// The accompanying wall-clock cost of the (uncached) run is stored and
+  /// reported through ExperimentResult::clustering_seconds.
+  const std::vector<SubspaceCluster>& Clusters(const MineClusConfig& config);
+
+  /// Builds workloads from the config and runs one cell.
+  ExperimentResult Run(const ExperimentConfig& config);
+
+  /// Runs one cell against caller-provided workloads (used by the
+  /// permutation / sensitivity experiments).
+  ExperimentResult RunWithWorkloads(const ExperimentConfig& config,
+                                    const Workload& train,
+                                    const Workload& sim);
+
+  /// Convenience: builds the (train, sim) pair the way Run does.
+  std::pair<Workload, Workload> MakeWorkloads(
+      const ExperimentConfig& config) const;
+
+ private:
+  struct ClusterCacheEntry {
+    MineClusConfig config;
+    std::vector<SubspaceCluster> clusters;
+    double seconds = 0.0;
+  };
+
+  static bool SameMineClusConfig(const MineClusConfig& a,
+                                 const MineClusConfig& b);
+
+  GeneratedData generated_;
+  Executor executor_;
+  std::vector<ClusterCacheEntry> cluster_cache_;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_EVAL_RUNNER_H_

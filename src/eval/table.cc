@@ -1,0 +1,66 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sthist {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  STHIST_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  STHIST_CHECK(cells.size() <= headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += c == 0 ? "| " : " | ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule.append(widths[c] + 2, '-');
+    rule += "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatSize(size_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu", value);
+  return buf;
+}
+
+}  // namespace sthist

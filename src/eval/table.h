@@ -1,0 +1,38 @@
+#ifndef STHIST_EVAL_TABLE_H_
+#define STHIST_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace sthist {
+
+/// Plain-text table renderer for the benchmark harnesses: fixed-width
+/// columns sized to content, one header row, pipe separators.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows abort.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// Formats a size_t.
+std::string FormatSize(size_t value);
+
+}  // namespace sthist
+
+#endif  // STHIST_EVAL_TABLE_H_

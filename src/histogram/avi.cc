@@ -1,0 +1,85 @@
+#include "histogram/avi.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sthist {
+
+AviHistogram::AviHistogram(const Dataset& data, const Box& domain,
+                           size_t buckets_per_dim)
+    : domain_(domain), total_tuples_(static_cast<double>(data.size())) {
+  STHIST_CHECK(buckets_per_dim >= 1);
+  STHIST_CHECK(data.dim() == domain.dim());
+  STHIST_CHECK(data.size() > 0);
+
+  const size_t n = data.size();
+  boundaries_.resize(domain.dim());
+  std::vector<double> column(n);
+  for (size_t d = 0; d < domain.dim(); ++d) {
+    for (size_t i = 0; i < n; ++i) column[i] = data.value(i, d);
+    std::sort(column.begin(), column.end());
+
+    std::vector<double>& bounds = boundaries_[d];
+    bounds.resize(buckets_per_dim + 1);
+    bounds.front() = std::min(domain.lo(d), column.front());
+    bounds.back() = std::max(domain.hi(d), column.back());
+    for (size_t b = 1; b < buckets_per_dim; ++b) {
+      // The value below which a b/buckets fraction of the column lies.
+      size_t rank = b * n / buckets_per_dim;
+      bounds[b] = column[std::min(rank, n - 1)];
+    }
+    // Quantiles of heavily duplicated values may coincide; keep boundaries
+    // non-decreasing (zero-width buckets simply carry their depth share).
+    for (size_t b = 1; b < bounds.size(); ++b) {
+      bounds[b] = std::max(bounds[b], bounds[b - 1]);
+    }
+  }
+}
+
+double AviHistogram::Selectivity(size_t d, double lo, double hi) const {
+  const std::vector<double>& bounds = boundaries_[d];
+  const size_t buckets = bounds.size() - 1;
+  const double depth = 1.0 / static_cast<double>(buckets);
+
+  if (hi <= bounds.front() || lo >= bounds.back()) return 0.0;
+
+  double selectivity = 0.0;
+  for (size_t b = 0; b < buckets; ++b) {
+    double b_lo = bounds[b];
+    double b_hi = bounds[b + 1];
+    if (b_hi <= lo || b_lo >= hi) continue;
+    if (b_hi == b_lo) {
+      // Zero-width bucket (duplicated quantile): all of its depth counts
+      // when the point lies inside the query.
+      if (b_lo >= lo && b_lo <= hi) selectivity += depth;
+      continue;
+    }
+    double overlap = std::min(hi, b_hi) - std::max(lo, b_lo);
+    selectivity += depth * std::clamp(overlap / (b_hi - b_lo), 0.0, 1.0);
+  }
+  return std::min(selectivity, 1.0);
+}
+
+double AviHistogram::Estimate(const Box& query) const {
+  STHIST_CHECK(query.dim() == domain_.dim());
+  double selectivity = 1.0;
+  for (size_t d = 0; d < domain_.dim(); ++d) {
+    selectivity *= Selectivity(d, query.lo(d), query.hi(d));
+    if (selectivity == 0.0) break;
+  }
+  return total_tuples_ * selectivity;
+}
+
+void AviHistogram::Refine(const Box& /*query*/,
+                          const CardinalityOracle& /*oracle*/) {}
+
+size_t AviHistogram::bucket_count() const {
+  size_t total = 0;
+  for (const std::vector<double>& bounds : boundaries_) {
+    total += bounds.size() - 1;
+  }
+  return total;
+}
+
+}  // namespace sthist

@@ -1,0 +1,40 @@
+#include "histogram/census.h"
+
+#include <cstdio>
+
+namespace sthist {
+
+CensusResult CensusSubspaceBuckets(const STHoles& hist, double tolerance) {
+  CensusResult result;
+  const Box& domain = hist.domain();
+  std::vector<STHoles::BucketInfo> buckets = hist.Dump();
+
+  for (const STHoles::BucketInfo& b : buckets) {
+    if (b.depth == 0) continue;  // Skip the root.
+    ++result.total_buckets;
+    size_t unused = 0;
+    for (size_t d = 0; d < domain.dim(); ++d) {
+      double full = domain.Extent(d);
+      if (full <= 0.0) continue;
+      if (b.box.Extent(d) >= (1.0 - tolerance) * full) ++unused;
+    }
+    result.unused_dims_per_bucket.push_back(unused);
+    if (unused > 0) ++result.subspace_buckets;
+    result.max_unused_dims = std::max(result.max_unused_dims, unused);
+  }
+  return result;
+}
+
+std::string FormatBucketTree(const STHoles& hist) {
+  std::string out;
+  char buf[64];
+  for (const STHoles::BucketInfo& b : hist.Dump()) {
+    out.append(2 * b.depth, ' ');
+    out += b.box.ToString();
+    std::snprintf(buf, sizeof(buf), "  f=%.1f\n", b.frequency);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sthist

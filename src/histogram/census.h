@@ -1,0 +1,38 @@
+#ifndef STHIST_HISTOGRAM_CENSUS_H_
+#define STHIST_HISTOGRAM_CENSUS_H_
+
+#include <string>
+#include <vector>
+
+#include "histogram/stholes.h"
+
+namespace sthist {
+
+/// Summary of the subspace structure of an STHoles bucket tree, used for the
+/// paper's §5.3 dimensionality analysis ("the uninitialized histogram has not
+/// created a single subspace bucket").
+struct CensusResult {
+  /// Buckets inspected, excluding the root.
+  size_t total_buckets = 0;
+  /// Buckets that span (within tolerance) the full domain extent in at least
+  /// one dimension — i.e., buckets that effectively live in a projection.
+  size_t subspace_buckets = 0;
+  /// The largest number of spanned ("unused") dimensions over all buckets.
+  size_t max_unused_dims = 0;
+  /// Per-bucket count of spanned dimensions, for distribution analysis.
+  std::vector<size_t> unused_dims_per_bucket;
+};
+
+/// Scans the bucket tree of `hist` and classifies buckets as subspace
+/// buckets. A dimension counts as spanned when the bucket covers at least
+/// (1 - tolerance) of the domain extent in it. The root is excluded.
+CensusResult CensusSubspaceBuckets(const STHoles& hist,
+                                   double tolerance = 1e-9);
+
+/// Renders the bucket tree as an indented text listing (one bucket per line:
+/// depth, box, frequency), for debugging and the order-sensitivity example.
+std::string FormatBucketTree(const STHoles& hist);
+
+}  // namespace sthist
+
+#endif  // STHIST_HISTOGRAM_CENSUS_H_

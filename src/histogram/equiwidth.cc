@@ -1,0 +1,96 @@
+#include "histogram/equiwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sthist {
+
+EquiWidthHistogram::EquiWidthHistogram(const Dataset& data, const Box& domain,
+                                       size_t cells_per_dim)
+    : domain_(domain), cells_per_dim_(cells_per_dim) {
+  STHIST_CHECK(cells_per_dim >= 1);
+  STHIST_CHECK(data.dim() == domain.dim());
+  size_t total_cells = 1;
+  for (size_t d = 0; d < domain.dim(); ++d) {
+    STHIST_CHECK_MSG(total_cells <= (1u << 26) / cells_per_dim,
+                     "equi-width grid too large: %zu^%zu cells",
+                     cells_per_dim, domain.dim());
+    total_cells *= cells_per_dim;
+  }
+  counts_.assign(total_cells, 0.0);
+
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::span<const double> p = data.row(i);
+    size_t index = 0;
+    bool inside = true;
+    for (size_t d = 0; d < domain.dim(); ++d) {
+      if (p[d] < domain.lo(d) || p[d] > domain.hi(d)) {
+        inside = false;
+        break;
+      }
+      index = index * cells_per_dim_ + CellIndex(d, p[d]);
+    }
+    if (inside) counts_[index] += 1.0;
+  }
+}
+
+size_t EquiWidthHistogram::CellIndex(size_t d, double x) const {
+  double extent = domain_.Extent(d);
+  if (extent <= 0.0) return 0;
+  double frac = (x - domain_.lo(d)) / extent;
+  auto cell = static_cast<size_t>(frac * static_cast<double>(cells_per_dim_));
+  return std::min(cell, cells_per_dim_ - 1);
+}
+
+double EquiWidthHistogram::Estimate(const Box& query) const {
+  STHIST_CHECK(query.dim() == domain_.dim());
+  const size_t dim = domain_.dim();
+
+  // Per-dimension cell ranges touched by the query, then a product walk over
+  // the touched sub-grid accumulating overlap fractions.
+  std::vector<size_t> first(dim), last(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    if (query.hi(d) < domain_.lo(d) || query.lo(d) > domain_.hi(d)) {
+      return 0.0;
+    }
+    first[d] = CellIndex(d, std::max(query.lo(d), domain_.lo(d)));
+    last[d] = CellIndex(d, std::min(query.hi(d), domain_.hi(d)));
+  }
+
+  std::vector<size_t> cell = first;
+  double estimate = 0.0;
+  while (true) {
+    // Fraction of this cell covered by the query.
+    double fraction = 1.0;
+    size_t index = 0;
+    for (size_t d = 0; d < dim; ++d) {
+      double step = domain_.Extent(d) / static_cast<double>(cells_per_dim_);
+      double cell_lo = domain_.lo(d) + step * static_cast<double>(cell[d]);
+      double cell_hi = cell_lo + step;
+      double overlap = std::min(cell_hi, query.hi(d)) -
+                       std::max(cell_lo, query.lo(d));
+      if (step > 0.0) fraction *= std::clamp(overlap / step, 0.0, 1.0);
+      index = index * cells_per_dim_ + cell[d];
+    }
+    estimate += fraction * counts_[index];
+
+    // Advance the odometer over the touched sub-grid.
+    size_t d = dim - 1;
+    while (true) {
+      if (cell[d] < last[d]) {
+        ++cell[d];
+        break;
+      }
+      cell[d] = first[d];
+      if (d == 0) return estimate;
+      --d;
+    }
+  }
+}
+
+void EquiWidthHistogram::Refine(const Box& /*query*/,
+                                const CardinalityOracle& /*oracle*/) {}
+
+}  // namespace sthist

@@ -1,0 +1,46 @@
+#ifndef STHIST_HISTOGRAM_EQUIWIDTH_H_
+#define STHIST_HISTOGRAM_EQUIWIDTH_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "histogram/histogram.h"
+
+namespace sthist {
+
+/// A static multidimensional equi-width grid histogram.
+///
+/// The classic scan-the-whole-table baseline: the domain is cut into
+/// `cells_per_dim^d` equal cells, each storing an exact tuple count.
+/// Estimation assumes uniformity within each cell. Included as the static
+/// counterpart to the self-tuning histograms (the paper's §1 background);
+/// it needs a full data scan to build and must be rebuilt on data change.
+class EquiWidthHistogram : public Histogram {
+ public:
+  /// Builds the grid by scanning `data`. The total cell count
+  /// cells_per_dim^d must not exceed 2^26 (memory guard).
+  EquiWidthHistogram(const Dataset& data, const Box& domain,
+                     size_t cells_per_dim);
+
+  double Estimate(const Box& query) const override;
+
+  /// Static histograms ignore feedback.
+  void Refine(const Box& query, const CardinalityOracle& oracle) override;
+
+  size_t bucket_count() const override { return counts_.size(); }
+
+  /// Grid resolution per dimension.
+  size_t cells_per_dim() const { return cells_per_dim_; }
+
+ private:
+  // The cell containing coordinate x in dimension d.
+  size_t CellIndex(size_t d, double x) const;
+
+  Box domain_;
+  size_t cells_per_dim_;
+  std::vector<double> counts_;  // Row-major over the d-dimensional grid.
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_HISTOGRAM_EQUIWIDTH_H_

@@ -1,0 +1,44 @@
+#ifndef STHIST_HISTOGRAM_HISTOGRAM_H_
+#define STHIST_HISTOGRAM_HISTOGRAM_H_
+
+#include <cstddef>
+
+#include "core/box.h"
+
+namespace sthist {
+
+/// Exact-count oracle standing in for the database execution engine.
+///
+/// In a live system, STHoles inspects the result stream of an executed range
+/// query and can therefore count the tuples falling into any sub-rectangle of
+/// the query. The library abstracts that capability behind this interface;
+/// the canonical implementation wraps a KdTree over the dataset.
+class CardinalityOracle {
+ public:
+  virtual ~CardinalityOracle() = default;
+
+  /// Exact number of tuples inside `box`.
+  virtual double Count(const Box& box) const = 0;
+};
+
+/// A selectivity-estimation histogram over one relation.
+class Histogram {
+ public:
+  virtual ~Histogram() = default;
+
+  /// Estimated number of tuples matching the range predicate `query`.
+  virtual double Estimate(const Box& query) const = 0;
+
+  /// Query-feedback refinement hook, invoked after `query` has executed.
+  /// `oracle` can count tuples in sub-rectangles of the query (and, for this
+  /// simulation substrate, arbitrary rectangles). Static histograms ignore
+  /// this.
+  virtual void Refine(const Box& query, const CardinalityOracle& oracle) = 0;
+
+  /// Number of buckets currently held.
+  virtual size_t bucket_count() const = 0;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_HISTOGRAM_HISTOGRAM_H_

@@ -1,0 +1,384 @@
+#include "histogram/isomer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace sthist {
+
+struct IsomerHistogram::Bucket {
+  Box box;
+  double frequency = 0.0;
+  std::vector<std::unique_ptr<Bucket>> children;
+};
+
+IsomerHistogram::IsomerHistogram(const Box& domain, double total_tuples,
+                                 const IsomerConfig& config)
+    : config_(config), total_tuples_(total_tuples) {
+  STHIST_CHECK(domain.dim() > 0);
+  STHIST_CHECK(domain.Volume() > 0);
+  STHIST_CHECK(total_tuples >= 0);
+  root_ = std::make_unique<Bucket>();
+  root_->box = domain;
+  root_->frequency = total_tuples;
+  bucket_count_ = 1;
+  // The relation cardinality is a permanent constraint: the max-entropy
+  // solution must always integrate to the table size.
+  constraints_.push_back({domain, total_tuples});
+}
+
+IsomerHistogram::~IsomerHistogram() = default;
+
+size_t IsomerHistogram::bucket_count() const { return bucket_count_ - 1; }
+
+double IsomerHistogram::MinVolume() const {
+  return 1e-12 * root_->box.Volume();
+}
+
+// ---------------------------------------------------------------------------
+// Geometry + estimation (as STHoles eq. 1)
+// ---------------------------------------------------------------------------
+
+double IsomerHistogram::RegionVolume(const Bucket& b) {
+  double v = b.box.Volume();
+  for (const auto& child : b.children) v -= child->box.Volume();
+  return std::max(v, 0.0);
+}
+
+double IsomerHistogram::RegionIntersectionVolume(const Bucket& b,
+                                                 const Box& query) {
+  double v = b.box.IntersectionVolume(query);
+  for (const auto& child : b.children) {
+    v -= child->box.IntersectionVolume(query);
+  }
+  return std::max(v, 0.0);
+}
+
+double IsomerHistogram::Estimate(const Box& query) const {
+  STHIST_CHECK(query.dim() == root_->box.dim());
+  return EstimateNode(*root_, query);
+}
+
+double IsomerHistogram::EstimateNode(const Bucket& b, const Box& query) const {
+  if (!b.box.Intersects(query)) return 0.0;
+  double est = 0.0;
+  double region = RegionVolume(b);
+  if (region > MinVolume()) {
+    double overlap = std::min(RegionIntersectionVolume(b, query), region);
+    est += b.frequency * (overlap / region);
+  } else if (query.Contains(b.box)) {
+    est += b.frequency;
+  }
+  for (const auto& child : b.children) {
+    est += EstimateNode(*child, query);
+  }
+  return est;
+}
+
+double IsomerHistogram::TotalFrequency() const {
+  double total = 0.0;
+  std::vector<const Bucket*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Bucket* b = stack.back();
+    stack.pop_back();
+    total += b->frequency;
+    for (const auto& child : b->children) stack.push_back(child.get());
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Structure learning (drilling, as STHoles — but mass-conserving)
+// ---------------------------------------------------------------------------
+
+void IsomerHistogram::CollectIntersecting(Bucket* b, const Box& query,
+                                          std::vector<Bucket*>* out) {
+  if (b->box.IntersectionVolume(query) <= 0.0) return;
+  out->push_back(b);
+  for (const auto& child : b->children) {
+    CollectIntersecting(child.get(), query, out);
+  }
+}
+
+Box IsomerHistogram::ShrinkCandidate(const Bucket& b, const Box& query) const {
+  Box c = b.box.Intersection(query);
+  const size_t dim = c.dim();
+
+  while (true) {
+    const Bucket* participant = nullptr;
+    for (const auto& child : b.children) {
+      if (!child->box.Intersects(c)) continue;
+      if (child->box.Contains(c)) {
+        return Box::Cube(dim, c.lo(0), c.lo(0));
+      }
+      if (!c.Contains(child->box)) {
+        participant = child.get();
+        break;
+      }
+    }
+    if (participant == nullptr) return c;
+
+    double best_volume = -1.0;
+    size_t best_dim = 0;
+    bool best_cut_low = false;
+    double best_value = 0.0;
+    for (const auto& child : b.children) {
+      if (!child->box.Intersects(c) || c.Contains(child->box) ||
+          child->box.Contains(c)) {
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        if (child->box.hi(d) > c.lo(d) && child->box.hi(d) < c.hi(d)) {
+          double v = c.Volume() / c.Extent(d) * (c.hi(d) - child->box.hi(d));
+          if (v > best_volume) {
+            best_volume = v;
+            best_dim = d;
+            best_cut_low = true;
+            best_value = child->box.hi(d);
+          }
+        }
+        if (child->box.lo(d) < c.hi(d) && child->box.lo(d) > c.lo(d)) {
+          double v = c.Volume() / c.Extent(d) * (child->box.lo(d) - c.lo(d));
+          if (v > best_volume) {
+            best_volume = v;
+            best_dim = d;
+            best_cut_low = false;
+            best_value = child->box.lo(d);
+          }
+        }
+      }
+    }
+    if (best_volume < 0.0) {
+      return Box::Cube(dim, c.lo(0), c.lo(0));
+    }
+    if (best_cut_low) {
+      c.set_lo(best_dim, best_value);
+    } else {
+      c.set_hi(best_dim, best_value);
+    }
+  }
+}
+
+void IsomerHistogram::DrillHole(Bucket* b, const Box& candidate,
+                                const CardinalityOracle& oracle) {
+  double max_extent = 0.0;
+  for (size_t d = 0; d < root_->box.dim(); ++d) {
+    max_extent = std::max(max_extent, root_->box.Extent(d));
+  }
+  const double eps = 1e-9 * (1.0 + max_extent);
+
+  // Candidate covers the whole bucket, or coincides with an existing child:
+  // the structure already supports the constraint.
+  if (candidate.ApproxEquals(b->box, eps)) return;
+  for (const auto& child : b->children) {
+    if (child->box.ApproxEquals(candidate, eps)) return;
+  }
+
+  auto hole = std::make_unique<Bucket>();
+  hole->box = candidate;
+
+  double moved_mass = 0.0;
+  std::vector<std::unique_ptr<Bucket>> kept;
+  kept.reserve(b->children.size());
+  for (auto& child : b->children) {
+    if (candidate.Contains(child->box)) {
+      moved_mass += oracle.Count(child->box);
+      hole->children.push_back(std::move(child));
+    } else {
+      kept.push_back(std::move(child));
+    }
+  }
+  b->children = std::move(kept);
+
+  // Seed the hole with the observed count (as ISOMER's add-hole step does);
+  // iterative scaling then reconciles the whole tree with every retained
+  // constraint.
+  hole->frequency = std::max(oracle.Count(candidate) - moved_mass, 0.0);
+  b->frequency = std::max(b->frequency - hole->frequency, 0.0);
+  b->children.push_back(std::move(hole));
+  ++bucket_count_;
+}
+
+// ---------------------------------------------------------------------------
+// Maximum-entropy reconciliation (iterative proportional scaling)
+// ---------------------------------------------------------------------------
+
+double IsomerHistogram::ScaleOnce() {
+  double worst = 0.0;
+  for (const Constraint& constraint : constraints_) {
+    double est = Estimate(constraint.box);
+    double scale_base = std::max(constraint.count, 1.0);
+    worst = std::max(worst, std::abs(est - constraint.count) / scale_base);
+
+    std::vector<Bucket*> touched;
+    CollectIntersecting(root_.get(), constraint.box, &touched);
+    if (touched.empty()) continue;
+
+    if (est > 1e-9) {
+      // Multiply each bucket's overlapping portion by count/est.
+      double ratio = constraint.count / est;
+      for (Bucket* b : touched) {
+        double region = RegionVolume(*b);
+        if (region <= MinVolume()) continue;
+        double portion =
+            b->frequency *
+            std::min(RegionIntersectionVolume(*b, constraint.box), region) /
+            region;
+        b->frequency =
+            std::max(b->frequency + portion * (ratio - 1.0), 0.0);
+      }
+    } else if (constraint.count > 0.0) {
+      // Nothing to scale: seed mass proportional to overlap volume.
+      double total_overlap = 0.0;
+      for (Bucket* b : touched) {
+        total_overlap += RegionIntersectionVolume(*b, constraint.box);
+      }
+      if (total_overlap <= 0.0) continue;
+      for (Bucket* b : touched) {
+        b->frequency += constraint.count *
+                        RegionIntersectionVolume(*b, constraint.box) /
+                        total_overlap;
+      }
+    }
+  }
+  return worst;
+}
+
+void IsomerHistogram::Solve() {
+  for (size_t round = 0; round < config_.scaling_rounds; ++round) {
+    double worst = ScaleOnce();
+    if (worst <= config_.tolerance) break;
+  }
+
+  // Inconsistency handling: drop retained constraints (never the permanent
+  // cardinality constraint at the front) that the current structure cannot
+  // satisfy — typically regions whose buckets were merged away under the
+  // budget. Keeping them would make every future solve thrash.
+  for (size_t i = constraints_.size(); i-- > 1;) {
+    double est = Estimate(constraints_[i].box);
+    double violation = std::abs(est - constraints_[i].count) /
+                       std::max(constraints_[i].count, 1.0);
+    if (violation > config_.inconsistency_threshold) {
+      constraints_.erase(constraints_.begin() + static_cast<ptrdiff_t>(i));
+    }
+  }
+}
+
+double IsomerHistogram::MaxConstraintViolation() const {
+  double worst = 0.0;
+  for (const Constraint& constraint : constraints_) {
+    double est = Estimate(constraint.box);
+    worst = std::max(worst, std::abs(est - constraint.count) /
+                                std::max(constraint.count, 1.0));
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// Refinement
+// ---------------------------------------------------------------------------
+
+void IsomerHistogram::Refine(const Box& query,
+                             const CardinalityOracle& oracle) {
+  STHIST_CHECK(query.dim() == root_->box.dim());
+  Box q = root_->box.Intersection(query);
+  if (q.Volume() <= MinVolume()) return;
+
+  // Record the feedback constraint (sliding window; the permanent relation
+  // cardinality constraint at the front never ages out).
+  double count = oracle.Count(q);
+  constraints_.push_back({q, count});
+  while (constraints_.size() > config_.max_constraints) {
+    constraints_.erase(constraints_.begin() + 1);
+  }
+
+  // Grow structure for the query, as STHoles does.
+  std::vector<Bucket*> intersecting;
+  CollectIntersecting(root_.get(), q, &intersecting);
+  for (Bucket* b : intersecting) {
+    Box candidate = ShrinkCandidate(*b, q);
+    if (candidate.Volume() <= MinVolume()) continue;
+    DrillHole(b, candidate, oracle);
+  }
+
+  EnforceBudget();
+  Solve();
+}
+
+// ---------------------------------------------------------------------------
+// Budget: parent-child merges of the most redundant child
+// ---------------------------------------------------------------------------
+
+void IsomerHistogram::EnforceBudget() {
+  while (bucket_count() > config_.max_buckets) {
+    // Find the (parent, child) pair with the smallest density disagreement,
+    // weighted by the child's region volume: removing it changes the
+    // max-entropy solution the least.
+    Bucket* best_parent = nullptr;
+    size_t best_child = 0;
+    double best_penalty = std::numeric_limits<double>::infinity();
+
+    std::vector<Bucket*> stack = {root_.get()};
+    while (!stack.empty()) {
+      Bucket* parent = stack.back();
+      stack.pop_back();
+      double vp = RegionVolume(*parent);
+      double parent_density = vp > 0.0 ? parent->frequency / vp : 0.0;
+      for (size_t i = 0; i < parent->children.size(); ++i) {
+        Bucket* child = parent->children[i].get();
+        stack.push_back(child);
+        double vc = RegionVolume(*child);
+        double child_density = vc > 0.0 ? child->frequency / vc : 0.0;
+        double penalty = std::abs(child_density - parent_density) * vc;
+        if (penalty < best_penalty) {
+          best_penalty = penalty;
+          best_parent = parent;
+          best_child = i;
+        }
+      }
+    }
+    if (best_parent == nullptr) return;
+
+    Bucket* child = best_parent->children[best_child].get();
+    best_parent->frequency += child->frequency;
+    std::unique_ptr<Bucket> owned =
+        std::move(best_parent->children[best_child]);
+    best_parent->children.erase(best_parent->children.begin() +
+                                static_cast<ptrdiff_t>(best_child));
+    for (auto& grandchild : owned->children) {
+      best_parent->children.push_back(std::move(grandchild));
+    }
+    --bucket_count_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+void IsomerHistogram::CheckInvariants() const {
+  size_t counted = 0;
+  std::vector<const Bucket*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Bucket* b = stack.back();
+    stack.pop_back();
+    ++counted;
+    CheckNode(*b);
+    for (const auto& child : b->children) stack.push_back(child.get());
+  }
+  STHIST_CHECK(counted == bucket_count_);
+}
+
+void IsomerHistogram::CheckNode(const Bucket& b) const {
+  STHIST_CHECK(b.frequency >= 0.0);
+  for (size_t i = 0; i < b.children.size(); ++i) {
+    STHIST_CHECK(b.box.Contains(b.children[i]->box));
+    for (size_t j = i + 1; j < b.children.size(); ++j) {
+      STHIST_CHECK(!b.children[i]->box.Intersects(b.children[j]->box));
+    }
+  }
+}
+
+}  // namespace sthist

@@ -1,0 +1,121 @@
+#ifndef STHIST_HISTOGRAM_ISOMER_H_
+#define STHIST_HISTOGRAM_ISOMER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/box.h"
+#include "histogram/histogram.h"
+
+namespace sthist {
+
+/// ISOMER parameters.
+struct IsomerConfig {
+  /// Bucket budget, excluding the fixed root (STHoles counting convention).
+  size_t max_buckets = 100;
+
+  /// Sliding window of retained query-feedback constraints. Older
+  /// constraints age out, which is how ISOMER follows changing data.
+  size_t max_constraints = 128;
+
+  /// Iterative-scaling rounds per refinement.
+  size_t scaling_rounds = 40;
+
+  /// Stop scaling early when every retained constraint is satisfied within
+  /// this relative error.
+  double tolerance = 1e-3;
+
+  /// After solving, constraints still violated by more than this relative
+  /// error are discarded (ISOMER's inconsistency handling: under a tight
+  /// bucket budget, merges can make old constraints unrepresentable, and
+  /// keeping them makes the scaling fight itself).
+  double inconsistency_threshold = 0.5;
+};
+
+/// ISOMER-style self-tuning histogram (Srivastava, Haas, Markl, Kutsch,
+/// Tran — ICDE'06), the paper's reference [27]: the same STHoles bucket-tree
+/// *structure*, but frequencies chosen as the maximum-entropy distribution
+/// consistent with a sliding window of query-feedback constraints.
+///
+/// Differences to STHoles in this implementation:
+///  * every observed count is *retained* as a constraint in a sliding
+///    window, and after each refinement an iterative proportional scaling
+///    pass reconciles the whole histogram with all retained constraints at
+///    once (STHoles only ever applies the newest feedback); constraints the
+///    budgeted structure can no longer satisfy are discarded, mirroring
+///    ISOMER's inconsistency elimination;
+///  * the budget is enforced with parent–child merges only (a simplification
+///    of ISOMER's multiplier-based bucket elimination; the merge victim is
+///    the child whose density is closest to its parent's).
+class IsomerHistogram : public Histogram {
+ public:
+  IsomerHistogram(const Box& domain, double total_tuples,
+                  const IsomerConfig& config);
+
+  IsomerHistogram(const IsomerHistogram&) = delete;
+  IsomerHistogram& operator=(const IsomerHistogram&) = delete;
+  ~IsomerHistogram() override;
+
+  double Estimate(const Box& query) const override;
+
+  /// Records the query's true cardinality as a constraint, drills structure
+  /// for it, and re-solves the frequencies by iterative scaling.
+  void Refine(const Box& query, const CardinalityOracle& oracle) override;
+
+  size_t bucket_count() const override;
+
+  /// Number of retained feedback constraints.
+  size_t constraint_count() const { return constraints_.size(); }
+
+  /// Sum of all bucket frequencies.
+  double TotalFrequency() const;
+
+  /// Worst relative violation of the retained constraints (0 = perfectly
+  /// consistent).
+  double MaxConstraintViolation() const;
+
+  /// Structural invariants (nesting, disjoint siblings, non-negative
+  /// frequencies); aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  struct Bucket;
+  struct Constraint {
+    Box box;
+    double count = 0.0;
+  };
+
+  static double RegionVolume(const Bucket& b);
+  static double RegionIntersectionVolume(const Bucket& b, const Box& query);
+
+  double EstimateNode(const Bucket& b, const Box& query) const;
+
+  void CollectIntersecting(Bucket* b, const Box& query,
+                           std::vector<Bucket*>* out);
+  Box ShrinkCandidate(const Bucket& b, const Box& query) const;
+  // Carves `candidate` out of b, seeded with the observed count (ISOMER's
+  // add-hole step); scaling reconciles the rest of the tree.
+  void DrillHole(Bucket* b, const Box& candidate,
+                 const CardinalityOracle& oracle);
+
+  // One pass of iterative proportional scaling over all constraints.
+  // Returns the worst relative violation seen before adjustment.
+  double ScaleOnce();
+  void Solve();
+
+  void EnforceBudget();
+
+  double MinVolume() const;
+  void CheckNode(const Bucket& b) const;
+
+  IsomerConfig config_;
+  std::unique_ptr<Bucket> root_;
+  size_t bucket_count_ = 0;  // Including root.
+  std::deque<Constraint> constraints_;
+  double total_tuples_;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_HISTOGRAM_ISOMER_H_

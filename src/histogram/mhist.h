@@ -1,0 +1,69 @@
+#ifndef STHIST_HISTOGRAM_MHIST_H_
+#define STHIST_HISTOGRAM_MHIST_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "histogram/histogram.h"
+
+namespace sthist {
+
+/// MHist parameters.
+struct MHistConfig {
+  /// Number of buckets to build.
+  size_t max_buckets = 100;
+
+  /// Resolution of the per-dimension marginal used to locate the MaxDiff
+  /// split point inside a bucket.
+  size_t marginal_bins = 64;
+};
+
+/// MHIST-2: the static multidimensional MaxDiff histogram
+/// (Poosala & Ioannidis, VLDB'97) — the paper's reference [23] for
+/// conventional multidimensional histogram construction (and the structure
+/// SASH builds on).
+///
+/// Construction greedily splits the bucket whose marginal frequency
+/// distribution contains the largest difference between adjacent bins
+/// ("MaxDiff"), at that boundary, until the budget is reached. Estimation
+/// assumes uniformity inside each bucket. Static: it scans the data at build
+/// time and ignores query feedback.
+class MHistHistogram : public Histogram {
+ public:
+  MHistHistogram(const Dataset& data, const Box& domain,
+                 const MHistConfig& config);
+
+  double Estimate(const Box& query) const override;
+
+  /// Static; ignores feedback.
+  void Refine(const Box& query, const CardinalityOracle& oracle) override;
+
+  size_t bucket_count() const override { return buckets_.size(); }
+
+  /// Flattened bucket view for inspection and tests.
+  struct BucketInfo {
+    Box box;
+    double frequency = 0.0;
+  };
+  std::vector<BucketInfo> Dump() const;
+
+ private:
+  struct BuildBucket {
+    Box box;
+    std::vector<size_t> rows;  // Tuples inside; dropped after construction.
+    // Best split found for this bucket.
+    double max_diff = -1.0;
+    size_t split_dim = 0;
+    double split_at = 0.0;
+  };
+
+  // Computes the bucket's MaxDiff split candidate over all dimensions.
+  void ScoreBucket(const Dataset& data, BuildBucket* bucket) const;
+
+  MHistConfig config_;
+  std::vector<BucketInfo> buckets_;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_HISTOGRAM_MHIST_H_

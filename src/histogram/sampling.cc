@@ -1,0 +1,33 @@
+#include "histogram/sampling.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace sthist {
+
+SamplingEstimator::SamplingEstimator(const Dataset& data, size_t sample_size,
+                                     uint64_t seed)
+    : scale_(1.0), sample_(data.dim()) {
+  STHIST_CHECK(data.size() > 0);
+  sample_size = std::min(sample_size, data.size());
+  STHIST_CHECK(sample_size > 0);
+  scale_ = static_cast<double>(data.size()) /
+           static_cast<double>(sample_size);
+
+  Rng rng(seed);
+  std::vector<size_t> rows = rng.Sample(data.size(), sample_size);
+  sample_.Reserve(sample_size);
+  for (size_t row : rows) sample_.Append(data.row(row));
+  index_ = std::make_unique<KdTree>(sample_);
+}
+
+double SamplingEstimator::Estimate(const Box& query) const {
+  return scale_ * static_cast<double>(index_->Count(query));
+}
+
+void SamplingEstimator::Refine(const Box& /*query*/,
+                               const CardinalityOracle& /*oracle*/) {}
+
+}  // namespace sthist

@@ -1,0 +1,43 @@
+#ifndef STHIST_HISTOGRAM_SAMPLING_H_
+#define STHIST_HISTOGRAM_SAMPLING_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "histogram/histogram.h"
+#include "index/kdtree.h"
+
+#include <memory>
+
+namespace sthist {
+
+/// Uniform-sampling selectivity estimator (the synopses-survey baseline):
+/// keep a uniform random sample of the relation; estimate a range count as
+/// the sample count scaled by n/|sample|.
+///
+/// Unbiased for every query, but the variance on selective queries is what
+/// histograms exist to beat — another axis of comparison in
+/// `bench_baselines`.
+class SamplingEstimator : public Histogram {
+ public:
+  /// Draws a sample of `sample_size` tuples (without replacement) from
+  /// `data` and indexes it for counting.
+  SamplingEstimator(const Dataset& data, size_t sample_size, uint64_t seed);
+
+  double Estimate(const Box& query) const override;
+
+  /// Static; ignores feedback.
+  void Refine(const Box& query, const CardinalityOracle& oracle) override;
+
+  /// Each sampled tuple is one "bucket" of the synopsis.
+  size_t bucket_count() const override { return sample_.size(); }
+
+ private:
+  double scale_;  // n / sample_size.
+  Dataset sample_;
+  std::unique_ptr<KdTree> index_;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_HISTOGRAM_SAMPLING_H_

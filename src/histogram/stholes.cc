@@ -1,0 +1,606 @@
+#include "histogram/stholes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace sthist {
+
+/// One node of the bucket tree. The bucket's region is `box` minus the boxes
+/// of `children`; `frequency` counts tuples in the region only.
+struct STHoles::Bucket {
+  Box box;
+  double frequency = 0.0;
+  std::vector<std::unique_ptr<Bucket>> children;
+};
+
+namespace {
+
+// Relative tolerance for box-equality decisions during drilling.
+constexpr double kBoxEps = 1e-9;
+
+}  // namespace
+
+STHoles::STHoles(const Box& domain, double total_tuples,
+                 const STHolesConfig& config)
+    : config_(config) {
+  STHIST_CHECK(domain.dim() > 0);
+  STHIST_CHECK(domain.Volume() > 0);
+  STHIST_CHECK(total_tuples >= 0);
+  root_ = std::make_unique<Bucket>();
+  root_->box = domain;
+  root_->frequency = total_tuples;
+  bucket_count_ = 1;
+}
+
+STHoles::~STHoles() = default;
+
+const Box& STHoles::domain() const { return root_->box; }
+
+double STHoles::MinVolume() const {
+  return config_.min_volume_fraction * root_->box.Volume();
+}
+
+// ---------------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------------
+
+double STHoles::RegionVolume(const Bucket& b) {
+  double v = b.box.Volume();
+  for (const auto& child : b.children) v -= child->box.Volume();
+  return std::max(v, 0.0);
+}
+
+double STHoles::RegionIntersectionVolume(const Bucket& b, const Box& query) {
+  double v = b.box.IntersectionVolume(query);
+  for (const auto& child : b.children) {
+    v -= child->box.IntersectionVolume(query);
+  }
+  return std::max(v, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Estimation (paper eq. 1)
+// ---------------------------------------------------------------------------
+
+double STHoles::Estimate(const Box& query) const {
+  STHIST_CHECK(query.dim() == root_->box.dim());
+  return EstimateNode(*root_, query);
+}
+
+double STHoles::EstimateNode(const Bucket& b, const Box& query) const {
+  if (!b.box.Intersects(query)) return 0.0;
+  double est = 0.0;
+  double region = RegionVolume(b);
+  if (region > MinVolume()) {
+    double overlap = std::min(RegionIntersectionVolume(b, query), region);
+    est += b.frequency * (overlap / region);
+  } else if (query.Contains(b.box)) {
+    // Degenerate region fully swallowed by the query: all its mass matches.
+    est += b.frequency;
+  }
+  for (const auto& child : b.children) {
+    est += EstimateNode(*child, query);
+  }
+  return est;
+}
+
+double STHoles::TotalFrequency() const {
+  double total = 0.0;
+  std::vector<const Bucket*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Bucket* b = stack.back();
+    stack.pop_back();
+    total += b->frequency;
+    for (const auto& child : b->children) stack.push_back(child.get());
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Refinement: drilling candidate holes (paper §2, STHoles §4.2)
+// ---------------------------------------------------------------------------
+
+void STHoles::Refine(const Box& query, const CardinalityOracle& oracle) {
+  STHIST_CHECK(query.dim() == root_->box.dim());
+  Box q = root_->box.Intersection(query);
+  if (q.Volume() <= MinVolume()) return;
+
+  // Snapshot the buckets the query intersects before mutating the tree: holes
+  // drilled by this very query must not be drilled into again.
+  std::vector<Bucket*> intersecting;
+  CollectIntersecting(root_.get(), q, &intersecting);
+
+  for (Bucket* b : intersecting) {
+    Box candidate = ShrinkCandidate(*b, q);
+    if (candidate.Volume() <= MinVolume()) continue;
+    DrillHole(b, candidate, oracle);
+  }
+
+  EnforceBudget();
+}
+
+void STHoles::CollectIntersecting(Bucket* b, const Box& query,
+                                  std::vector<Bucket*>* out) {
+  if (b->box.IntersectionVolume(query) <= 0.0) return;
+  out->push_back(b);
+  for (const auto& child : b->children) {
+    CollectIntersecting(child.get(), query, out);
+  }
+}
+
+Box STHoles::ShrinkCandidate(const Bucket& b, const Box& query) const {
+  Box c = b.box.Intersection(query);
+  const size_t dim = c.dim();
+
+  while (true) {
+    // A child that swallows the whole candidate means the queried region
+    // belongs to that hole, not to b: nothing to drill here.
+    const Bucket* participant = nullptr;
+    for (const auto& child : b.children) {
+      if (!child->box.Intersects(c)) continue;
+      if (child->box.Contains(c)) {
+        return Box::Cube(dim, c.lo(0), c.lo(0));  // Degenerate: volume 0.
+      }
+      if (!c.Contains(child->box)) {
+        participant = child.get();
+        break;
+      }
+    }
+    if (participant == nullptr) return c;
+
+    // Exclude some participant along the single dimension that preserves the
+    // most candidate volume (the STHoles greedy shrink). Re-scan all
+    // participants for the globally best cut.
+    double best_volume = -1.0;
+    size_t best_dim = 0;
+    bool best_cut_low = false;  // true: raise c.lo, false: lower c.hi.
+    double best_value = 0.0;
+    for (const auto& child : b.children) {
+      if (!child->box.Intersects(c) || c.Contains(child->box) ||
+          child->box.Contains(c)) {
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        // Raise the low edge to the participant's high edge.
+        if (child->box.hi(d) > c.lo(d) && child->box.hi(d) < c.hi(d)) {
+          double v = c.Volume() / c.Extent(d) * (c.hi(d) - child->box.hi(d));
+          if (v > best_volume) {
+            best_volume = v;
+            best_dim = d;
+            best_cut_low = true;
+            best_value = child->box.hi(d);
+          }
+        }
+        // Lower the high edge to the participant's low edge.
+        if (child->box.lo(d) < c.hi(d) && child->box.lo(d) > c.lo(d)) {
+          double v = c.Volume() / c.Extent(d) * (child->box.lo(d) - c.lo(d));
+          if (v > best_volume) {
+            best_volume = v;
+            best_dim = d;
+            best_cut_low = false;
+            best_value = child->box.lo(d);
+          }
+        }
+      }
+    }
+    if (best_volume < 0.0) {
+      // No admissible cut (participants cover the candidate's extent in every
+      // cuttable dimension). Give up on this bucket.
+      return Box::Cube(dim, c.lo(0), c.lo(0));
+    }
+    if (best_cut_low) {
+      c.set_lo(best_dim, best_value);
+    } else {
+      c.set_hi(best_dim, best_value);
+    }
+  }
+}
+
+void STHoles::SetExactFrequency(Bucket* b, const CardinalityOracle& oracle) {
+  double f = oracle.Count(b->box);
+  for (const auto& child : b->children) {
+    f -= oracle.Count(child->box);
+  }
+  b->frequency = std::max(f, 0.0);
+}
+
+void STHoles::DrillHole(Bucket* b, const Box& candidate,
+                        const CardinalityOracle& oracle) {
+  // Coordinate tolerance for box equality, relative to the domain scale.
+  double max_extent = 0.0;
+  for (size_t d = 0; d < root_->box.dim(); ++d) {
+    max_extent = std::max(max_extent, root_->box.Extent(d));
+  }
+  const double eps = kBoxEps * (1.0 + max_extent);
+
+  if (candidate.ApproxEquals(b->box, eps)) {
+    // The query feedback covers b entirely: correct its frequency in place.
+    SetExactFrequency(b, oracle);
+    return;
+  }
+
+  // Children fully contained in the candidate migrate into the new hole.
+  // A child whose box *is* the candidate just gets its frequency corrected.
+  for (const auto& child : b->children) {
+    if (child->box.ApproxEquals(candidate, eps)) {
+      SetExactFrequency(child.get(), oracle);
+      return;
+    }
+  }
+
+  auto hole = std::make_unique<Bucket>();
+  hole->box = candidate;
+
+  double moved_mass = 0.0;
+  std::vector<std::unique_ptr<Bucket>> kept;
+  kept.reserve(b->children.size());
+  for (auto& child : b->children) {
+    if (candidate.Contains(child->box)) {
+      moved_mass += oracle.Count(child->box);
+      hole->children.push_back(std::move(child));
+    } else {
+      kept.push_back(std::move(child));
+    }
+  }
+  b->children = std::move(kept);
+
+  hole->frequency = std::max(oracle.Count(candidate) - moved_mass, 0.0);
+  b->frequency = std::max(b->frequency - hole->frequency, 0.0);
+  b->children.push_back(std::move(hole));
+  ++bucket_count_;
+}
+
+// ---------------------------------------------------------------------------
+// Merging (paper §2 "Removing buckets", STHoles §4.3)
+// ---------------------------------------------------------------------------
+
+void STHoles::EnforceBudget() {
+  while (bucket_count() > config_.max_buckets) {
+    MergeCandidate merge = FindBestMerge();
+    if (merge.parent == nullptr) return;  // Nothing mergeable.
+    ApplyMerge(merge);
+  }
+}
+
+STHoles::MergeCandidate STHoles::FindBestMerge() const {
+  MergeCandidate best;
+  best.penalty = std::numeric_limits<double>::infinity();
+
+  // Sibling merges are ranked by a cheap penalty proxy first (the enclosure
+  // without the grow-to-swallow-participants step), and only the most
+  // promising pairs get the exact evaluation. This turns the O(k^3) exact
+  // scan over k siblings into O(k^2) + a constant number of exact checks,
+  // which dominates refinement cost at large bucket budgets.
+  struct CheapSibling {
+    Bucket* parent;
+    Bucket* b1;
+    Bucket* b2;
+    double cheap_penalty;
+  };
+  std::vector<CheapSibling> sibling_candidates;
+
+  std::vector<Bucket*> stack = {root_.get()};
+  std::vector<double> child_region;  // Scratch: per-child region volumes.
+  while (!stack.empty()) {
+    Bucket* parent = stack.back();
+    stack.pop_back();
+    const double vp = RegionVolume(*parent);
+    const size_t k = parent->children.size();
+
+    child_region.resize(k);
+    for (size_t i = 0; i < k; ++i) {
+      Bucket* child = parent->children[i].get();
+      stack.push_back(child);
+      child_region[i] = RegionVolume(*child);
+
+      // Parent-child merge (bp, bc) -> bn with box(bn) = box(bp); the exact
+      // penalty is already O(1) given the region volumes.
+      double vn = vp + child_region[i];
+      double penalty = 0.0;
+      if (vn > 0.0) {
+        double dn = (parent->frequency + child->frequency) / vn;
+        penalty = std::abs(parent->frequency - dn * vp) +
+                  std::abs(child->frequency - dn * child_region[i]);
+      }
+      if (penalty < best.penalty) {
+        best.parent = parent;
+        best.first = child;
+        best.second = nullptr;
+        best.penalty = penalty;
+      }
+    }
+
+    for (size_t i = 0; i < k; ++i) {
+      Bucket* b1 = parent->children[i].get();
+      for (size_t j = i + 1; j < k; ++j) {
+        Bucket* b2 = parent->children[j].get();
+        Box enc = Box::Enclosure(b1->box, b2->box);
+        double vold = std::max(
+            enc.Volume() - b1->box.Volume() - b2->box.Volume(), 0.0);
+        double from_parent =
+            vp > 0.0 ? parent->frequency * std::min(vold / vp, 1.0) : 0.0;
+        double fn = b1->frequency + b2->frequency + from_parent;
+        double vn = child_region[i] + child_region[j] + vold;
+        double penalty = 0.0;
+        if (vn > 0.0) {
+          double dn = fn / vn;
+          penalty = std::abs(b1->frequency - dn * child_region[i]) +
+                    std::abs(b2->frequency - dn * child_region[j]) +
+                    std::abs(from_parent - dn * vold);
+        }
+        sibling_candidates.push_back({parent, b1, b2, penalty});
+      }
+    }
+  }
+
+  // Exact evaluation of the most promising sibling pairs.
+  constexpr size_t kExactEvaluations = 32;
+  size_t exact = std::min(kExactEvaluations, sibling_candidates.size());
+  std::partial_sort(sibling_candidates.begin(),
+                    sibling_candidates.begin() + exact,
+                    sibling_candidates.end(),
+                    [](const CheapSibling& a, const CheapSibling& b) {
+                      return a.cheap_penalty < b.cheap_penalty;
+                    });
+  for (size_t i = 0; i < exact; ++i) {
+    MergeCandidate sibling;
+    ComputeSiblingMerge(sibling_candidates[i].parent,
+                        sibling_candidates[i].b1, sibling_candidates[i].b2,
+                        &sibling);
+    if (sibling.penalty < best.penalty) best = sibling;
+  }
+  return best;
+}
+
+void STHoles::ComputeSiblingMerge(Bucket* parent, Bucket* b1, Bucket* b2,
+                                  MergeCandidate* out) const {
+  // Grow the enclosure until it cleanly contains or excludes every sibling
+  // (paper Figure 3).
+  Box bn = Box::Enclosure(b1->box, b2->box);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& sibling : parent->children) {
+      Bucket* s = sibling.get();
+      if (s == b1 || s == b2) continue;
+      if (bn.Intersects(s->box) && !bn.Contains(s->box)) {
+        bn.ExtendToContain(s->box);
+        grew = true;
+      }
+    }
+  }
+
+  // vold: the slice of the parent's own region swallowed by bn.
+  double enclosed_boxes = b1->box.Volume() + b2->box.Volume();
+  for (const auto& sibling : parent->children) {
+    Bucket* s = sibling.get();
+    if (s == b1 || s == b2) continue;
+    if (bn.Contains(s->box)) enclosed_boxes += s->box.Volume();
+  }
+  double vold = std::max(bn.Volume() - enclosed_boxes, 0.0);
+
+  double vp = RegionVolume(*parent);
+  double from_parent =
+      vp > 0.0 ? parent->frequency * std::min(vold / vp, 1.0) : 0.0;
+  double v1 = RegionVolume(*b1);
+  double v2 = RegionVolume(*b2);
+  double fn = b1->frequency + b2->frequency + from_parent;
+  double vn = v1 + v2 + vold;
+
+  double penalty = 0.0;
+  if (vn > 0.0) {
+    double dn = fn / vn;
+    penalty = std::abs(b1->frequency - dn * v1) +
+              std::abs(b2->frequency - dn * v2) +
+              std::abs(from_parent - dn * vold);
+  }
+
+  out->parent = parent;
+  out->first = b1;
+  out->second = b2;
+  out->penalty = penalty;
+  out->merged_box = bn;
+}
+
+void STHoles::ApplyMerge(const MergeCandidate& merge) {
+  Bucket* parent = merge.parent;
+
+  if (merge.second == nullptr) {
+    // Parent-child: the child's mass and holes float up into the parent.
+    Bucket* child = merge.first;
+    parent->frequency += child->frequency;
+    auto it = std::find_if(
+        parent->children.begin(), parent->children.end(),
+        [child](const std::unique_ptr<Bucket>& b) { return b.get() == child; });
+    STHIST_CHECK(it != parent->children.end());
+    std::unique_ptr<Bucket> owned = std::move(*it);
+    parent->children.erase(it);
+    for (auto& grandchild : owned->children) {
+      parent->children.push_back(std::move(grandchild));
+    }
+    --bucket_count_;
+    return;
+  }
+
+  // Sibling-sibling.
+  const Box& bn = merge.merged_box;
+  double vp = RegionVolume(*parent);
+  double enclosed_boxes = 0.0;
+  for (const auto& sibling : parent->children) {
+    if (bn.Contains(sibling->box)) enclosed_boxes += sibling->box.Volume();
+  }
+  double vold = std::max(bn.Volume() - enclosed_boxes, 0.0);
+  double from_parent =
+      vp > 0.0 ? parent->frequency * std::min(vold / vp, 1.0) : 0.0;
+
+  auto merged = std::make_unique<Bucket>();
+  merged->box = bn;
+  merged->frequency =
+      merge.first->frequency + merge.second->frequency + from_parent;
+  parent->frequency = std::max(parent->frequency - from_parent, 0.0);
+
+  std::vector<std::unique_ptr<Bucket>> kept;
+  kept.reserve(parent->children.size());
+  for (auto& sibling : parent->children) {
+    Bucket* s = sibling.get();
+    if (s == merge.first || s == merge.second) {
+      // Their holes live on inside the merged bucket.
+      for (auto& grandchild : s->children) {
+        merged->children.push_back(std::move(grandchild));
+      }
+    } else if (bn.Contains(s->box)) {
+      // Participants become children of the merged bucket, intact.
+      merged->children.push_back(std::move(sibling));
+    } else {
+      kept.push_back(std::move(sibling));
+    }
+  }
+  parent->children = std::move(kept);
+  parent->children.push_back(std::move(merged));
+  --bucket_count_;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::vector<STHoles::BucketInfo> STHoles::Dump() const {
+  std::vector<BucketInfo> out;
+  out.reserve(bucket_count_);
+  // Pre-order with explicit depth tracking.
+  std::vector<std::pair<const Bucket*, size_t>> stack = {{root_.get(), 0}};
+  while (!stack.empty()) {
+    auto [b, depth] = stack.back();
+    stack.pop_back();
+    BucketInfo info;
+    info.box = b->box;
+    info.frequency = b->frequency;
+    info.depth = depth;
+    info.children = b->children.size();
+    out.push_back(std::move(info));
+    for (auto it = b->children.rbegin(); it != b->children.rend(); ++it) {
+      stack.push_back({it->get(), depth + 1});
+    }
+  }
+  return out;
+}
+
+std::string STHoles::Serialize() const {
+  std::string out = "STHoles v1 dim=" + std::to_string(root_->box.dim()) +
+                    " buckets=" + std::to_string(bucket_count_) + "\n";
+  char buf[64];
+  std::vector<std::pair<const Bucket*, size_t>> stack = {{root_.get(), 0}};
+  while (!stack.empty()) {
+    auto [b, depth] = stack.back();
+    stack.pop_back();
+    out += std::to_string(depth);
+    for (size_t d = 0; d < b->box.dim(); ++d) {
+      std::snprintf(buf, sizeof(buf), " %.17g %.17g", b->box.lo(d),
+                    b->box.hi(d));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), " %.17g\n", b->frequency);
+    out += buf;
+    for (auto it = b->children.rbegin(); it != b->children.rend(); ++it) {
+      stack.push_back({it->get(), depth + 1});
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<STHoles> STHoles::Deserialize(const std::string& text,
+                                              const STHolesConfig& config) {
+  size_t dim = 0, buckets = 0;
+  int header_len = 0;
+  if (std::sscanf(text.c_str(), "STHoles v1 dim=%zu buckets=%zu\n%n", &dim,
+                  &buckets, &header_len) != 2 ||
+      dim == 0 || buckets == 0) {
+    return nullptr;
+  }
+
+  const char* cursor = text.c_str() + header_len;
+  std::unique_ptr<STHoles> hist;
+  std::vector<Bucket*> path;  // path[i] = last bucket seen at depth i.
+
+  for (size_t line = 0; line < buckets; ++line) {
+    int consumed = 0;
+    size_t depth = 0;
+    if (std::sscanf(cursor, "%zu%n", &depth, &consumed) != 1) return nullptr;
+    cursor += consumed;
+
+    std::vector<double> lo(dim), hi(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      if (std::sscanf(cursor, "%lf %lf%n", &lo[d], &hi[d], &consumed) != 2) {
+        return nullptr;
+      }
+      if (lo[d] > hi[d]) return nullptr;
+      cursor += consumed;
+    }
+    double frequency = 0.0;
+    if (std::sscanf(cursor, "%lf%n", &frequency, &consumed) != 1) {
+      return nullptr;
+    }
+    cursor += consumed;
+    if (frequency < 0.0) return nullptr;
+
+    if (line == 0) {
+      if (depth != 0) return nullptr;
+      Box domain(std::move(lo), std::move(hi));
+      if (domain.Volume() <= 0.0) return nullptr;
+      hist = std::unique_ptr<STHoles>(
+          new STHoles(domain, frequency, config));
+      path = {hist->root_.get()};
+      continue;
+    }
+    if (depth == 0 || depth > path.size()) return nullptr;
+
+    auto bucket = std::make_unique<Bucket>();
+    bucket->box = Box(std::move(lo), std::move(hi));
+    bucket->frequency = frequency;
+    Bucket* parent = path[depth - 1];
+    if (!parent->box.Contains(bucket->box)) return nullptr;
+    for (const auto& sibling : parent->children) {
+      if (sibling->box.Intersects(bucket->box)) return nullptr;
+    }
+    Bucket* raw = bucket.get();
+    parent->children.push_back(std::move(bucket));
+    ++hist->bucket_count_;
+    path.resize(depth);
+    path.push_back(raw);
+  }
+  return hist;
+}
+
+void STHoles::CheckInvariants() const {
+  size_t counted = 0;
+  std::vector<const Bucket*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Bucket* b = stack.back();
+    stack.pop_back();
+    ++counted;
+    CheckNode(*b);
+    for (const auto& child : b->children) stack.push_back(child.get());
+  }
+  STHIST_CHECK(counted == bucket_count_);
+}
+
+void STHoles::CheckNode(const Bucket& b) const {
+  STHIST_CHECK(b.frequency >= 0.0);
+  for (size_t i = 0; i < b.children.size(); ++i) {
+    STHIST_CHECK_MSG(b.box.Contains(b.children[i]->box),
+                     "child %s escapes parent %s",
+                     b.children[i]->box.ToString().c_str(),
+                     b.box.ToString().c_str());
+    for (size_t j = i + 1; j < b.children.size(); ++j) {
+      STHIST_CHECK_MSG(!b.children[i]->box.Intersects(b.children[j]->box),
+                       "siblings %s and %s overlap",
+                       b.children[i]->box.ToString().c_str(),
+                       b.children[j]->box.ToString().c_str());
+    }
+  }
+}
+
+}  // namespace sthist

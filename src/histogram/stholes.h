@@ -1,0 +1,143 @@
+#ifndef STHIST_HISTOGRAM_STHOLES_H_
+#define STHIST_HISTOGRAM_STHOLES_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/box.h"
+#include "histogram/histogram.h"
+
+namespace sthist {
+
+/// Tuning knobs for STHoles.
+struct STHolesConfig {
+  /// Bucket budget, excluding the fixed root bucket (matching the paper's
+  /// convention that "a limit of one bucket" means one bucket plus the root).
+  size_t max_buckets = 100;
+
+  /// Volumes at or below this fraction of the root volume are treated as
+  /// zero when deciding whether a candidate hole is worth drilling.
+  double min_volume_fraction = 1e-12;
+};
+
+/// The STHoles multidimensional self-tuning histogram
+/// (Bruno, Chaudhuri, Gravano — SIGMOD 2001), the self-tuning baseline and
+/// refinement engine of the reproduced paper.
+///
+/// The histogram partitions the data space into a tree of rectangular
+/// buckets. A bucket's *region* is its box minus the boxes of its children
+/// (the "holes" drilled into it); its frequency counts only tuples in the
+/// region. Estimation applies the uniformity assumption per region (paper
+/// eq. 1). Refinement drills a candidate hole into every bucket a query
+/// intersects, using exact feedback counts, then merges the two most similar
+/// buckets until the budget is met again (paper eq. 2 penalties, in closed
+/// form).
+class STHoles : public Histogram {
+ public:
+  /// Creates a histogram whose fixed root bucket spans `domain` and initially
+  /// holds all `total_tuples` tuples.
+  STHoles(const Box& domain, double total_tuples, const STHolesConfig& config);
+
+  STHoles(const STHoles&) = delete;
+  STHoles& operator=(const STHoles&) = delete;
+  ~STHoles() override;
+
+  double Estimate(const Box& query) const override;
+
+  /// Learns from the feedback of one executed query: drills shrunken
+  /// candidate holes with exact counts into every intersected bucket, then
+  /// compacts back to the bucket budget.
+  void Refine(const Box& query, const CardinalityOracle& oracle) override;
+
+  /// Buckets excluding the fixed root (the paper's counting convention).
+  size_t bucket_count() const override { return bucket_count_ - 1; }
+
+  /// Buckets including the root.
+  size_t total_bucket_count() const { return bucket_count_; }
+
+  /// The domain (root bucket box).
+  const Box& domain() const;
+
+  /// Sum of all bucket frequencies (total tuple mass tracked).
+  double TotalFrequency() const;
+
+  /// Flattened view of one bucket, for inspection, dumping and tests.
+  struct BucketInfo {
+    Box box;
+    double frequency = 0.0;
+    size_t depth = 0;    // Root has depth 0.
+    size_t children = 0;
+  };
+
+  /// Pre-order dump of the bucket tree (root first).
+  std::vector<BucketInfo> Dump() const;
+
+  /// Serializes the bucket tree to a portable text form (version header +
+  /// one line per bucket: depth, bounds, frequency). Round-trips through
+  /// Deserialize with bit-exact estimates.
+  std::string Serialize() const;
+
+  /// Reconstructs a histogram from Serialize() output. Returns nullptr when
+  /// the text is malformed or violates the bucket-tree invariants.
+  static std::unique_ptr<STHoles> Deserialize(const std::string& text,
+                                              const STHolesConfig& config);
+
+  /// Validates structural invariants (children nested in parents, sibling
+  /// interiors disjoint, non-negative frequencies). Aborts on violation;
+  /// used by tests and fuzzing.
+  void CheckInvariants() const;
+
+ private:
+  struct Bucket;
+
+  // --- Geometry over the bucket tree ---
+  // Volume of the bucket's region (box minus child boxes).
+  static double RegionVolume(const Bucket& b);
+  // Volume of `query` ∩ region(b).
+  static double RegionIntersectionVolume(const Bucket& b, const Box& query);
+
+  // --- Estimation ---
+  double EstimateNode(const Bucket& b, const Box& query) const;
+
+  // --- Refinement ---
+  // Collects every bucket whose box has positive-volume intersection with
+  // `query`, in pre-order.
+  void CollectIntersecting(Bucket* b, const Box& query,
+                           std::vector<Bucket*>* out);
+  // Shrinks candidate = query ∩ box(b) until no child of b partially
+  // intersects it (STHoles §4.2). Returns the shrunken candidate.
+  Box ShrinkCandidate(const Bucket& b, const Box& query) const;
+  // Drills `candidate` into bucket b with exact feedback from `oracle`.
+  void DrillHole(Bucket* b, const Box& candidate,
+                 const CardinalityOracle& oracle);
+  // Sets b's frequency to the exact count of its region.
+  void SetExactFrequency(Bucket* b, const CardinalityOracle& oracle);
+
+  // --- Merging ---
+  struct MergeCandidate {
+    Bucket* parent = nullptr;  // Parent-child: parent; sibling: common parent.
+    Bucket* first = nullptr;   // Parent-child: the child. Sibling: b1.
+    Bucket* second = nullptr;  // Sibling: b2; null for parent-child.
+    double penalty = 0.0;
+    Box merged_box;            // Sibling merges: the grown enclosure.
+  };
+  // Enumerates all merges and returns the cheapest, or nullopt-like result
+  // with parent == nullptr when no merge exists (single root).
+  MergeCandidate FindBestMerge() const;
+  void ComputeSiblingMerge(Bucket* parent, Bucket* b1, Bucket* b2,
+                           MergeCandidate* out) const;
+  void ApplyMerge(const MergeCandidate& merge);
+  void EnforceBudget();
+
+  double MinVolume() const;
+
+  void CheckNode(const Bucket& b) const;
+
+  STHolesConfig config_;
+  std::unique_ptr<Bucket> root_;
+  size_t bucket_count_ = 0;  // Including root.
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_HISTOGRAM_STHOLES_H_

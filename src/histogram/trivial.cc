@@ -1,0 +1,22 @@
+#include "histogram/trivial.h"
+
+#include "core/check.h"
+
+namespace sthist {
+
+TrivialHistogram::TrivialHistogram(const Box& domain, double total_tuples)
+    : domain_(domain),
+      total_tuples_(total_tuples),
+      domain_volume_(domain.Volume()) {
+  STHIST_CHECK(total_tuples >= 0);
+  STHIST_CHECK(domain_volume_ > 0);
+}
+
+double TrivialHistogram::Estimate(const Box& query) const {
+  return total_tuples_ * domain_.IntersectionVolume(query) / domain_volume_;
+}
+
+void TrivialHistogram::Refine(const Box& /*query*/,
+                              const CardinalityOracle& /*oracle*/) {}
+
+}  // namespace sthist

@@ -1,0 +1,32 @@
+#ifndef STHIST_HISTOGRAM_TRIVIAL_H_
+#define STHIST_HISTOGRAM_TRIVIAL_H_
+
+#include "histogram/histogram.h"
+
+namespace sthist {
+
+/// The trivial one-bucket histogram H0 used to normalize error rates
+/// (paper eq. 10): it stores only the total tuple count and assumes a
+/// uniform distribution over the entire domain.
+class TrivialHistogram : public Histogram {
+ public:
+  /// `domain` is the attribute-value space D; `total_tuples` the relation
+  /// cardinality.
+  TrivialHistogram(const Box& domain, double total_tuples);
+
+  double Estimate(const Box& query) const override;
+
+  /// H0 never refines.
+  void Refine(const Box& query, const CardinalityOracle& oracle) override;
+
+  size_t bucket_count() const override { return 1; }
+
+ private:
+  Box domain_;
+  double total_tuples_;
+  double domain_volume_;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_HISTOGRAM_TRIVIAL_H_

@@ -1,0 +1,130 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/check.h"
+
+namespace sthist {
+
+KdTree::KdTree(const Dataset& data, size_t leaf_size)
+    : data_(data), leaf_size_(leaf_size) {
+  STHIST_CHECK(leaf_size_ >= 1);
+  order_.resize(data.size());
+  for (uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  if (!order_.empty()) {
+    nodes_.reserve(2 * order_.size() / leaf_size_ + 2);
+    root_ = Build(0, static_cast<uint32_t>(order_.size()), 0);
+  }
+}
+
+Box KdTree::TightBounds(uint32_t begin, uint32_t end) const {
+  std::vector<double> lo(data_.dim(), std::numeric_limits<double>::infinity());
+  std::vector<double> hi(data_.dim(),
+                         -std::numeric_limits<double>::infinity());
+  for (uint32_t i = begin; i < end; ++i) {
+    std::span<const double> p = data_.row(order_[i]);
+    for (size_t d = 0; d < data_.dim(); ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+int32_t KdTree::Build(uint32_t begin, uint32_t end, size_t depth) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  node.bounds = TightBounds(begin, end);
+
+  if (end - begin > leaf_size_) {
+    // Split on the widest dimension of the tight bounds; this adapts to
+    // skewed (clustered) data better than cycling dimensions by depth.
+    size_t split_dim = 0;
+    double widest = -1.0;
+    for (size_t d = 0; d < data_.dim(); ++d) {
+      if (node.bounds.Extent(d) > widest) {
+        widest = node.bounds.Extent(d);
+        split_dim = d;
+      }
+    }
+
+    uint32_t mid = begin + (end - begin) / 2;
+    std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                     order_.begin() + end,
+                     [&](uint32_t a, uint32_t b) {
+                       return data_.value(a, split_dim) <
+                              data_.value(b, split_dim);
+                     });
+
+    // Degenerate case: all points equal in every dimension (zero-extent
+    // bounds). Keep such runs as one (possibly oversized) leaf.
+    if (widest > 0.0) {
+      int32_t left = Build(begin, mid, depth + 1);
+      int32_t right = Build(mid, end, depth + 1);
+      node.left = left;
+      node.right = right;
+    }
+  }
+
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+size_t KdTree::Count(const Box& box) const {
+  STHIST_CHECK(box.dim() == data_.dim());
+  if (root_ < 0) return 0;
+  return CountNode(root_, box);
+}
+
+size_t KdTree::CountNode(int32_t node_id, const Box& box) const {
+  const Node& node = nodes_[node_id];
+  // Closed-interval disjointness test: points on the query boundary count,
+  // so prune only when the boxes do not even touch.
+  for (size_t d = 0; d < box.dim(); ++d) {
+    if (node.bounds.hi(d) < box.lo(d) || node.bounds.lo(d) > box.hi(d)) {
+      return 0;
+    }
+  }
+  if (box.Contains(node.bounds)) return node.end - node.begin;
+  if (node.left < 0) {
+    size_t count = 0;
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      if (box.ContainsPoint(data_.row(order_[i]))) ++count;
+    }
+    return count;
+  }
+  return CountNode(node.left, box) + CountNode(node.right, box);
+}
+
+void KdTree::Collect(const Box& box, std::vector<size_t>* out) const {
+  STHIST_CHECK(box.dim() == data_.dim());
+  if (root_ >= 0) CollectNode(root_, box, out);
+}
+
+void KdTree::CollectNode(int32_t node_id, const Box& box,
+                         std::vector<size_t>* out) const {
+  const Node& node = nodes_[node_id];
+  for (size_t d = 0; d < box.dim(); ++d) {
+    if (node.bounds.hi(d) < box.lo(d) || node.bounds.lo(d) > box.hi(d)) {
+      return;
+    }
+  }
+  if (box.Contains(node.bounds)) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      out->push_back(order_[i]);
+    }
+    return;
+  }
+  if (node.left < 0) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      if (box.ContainsPoint(data_.row(order_[i]))) out->push_back(order_[i]);
+    }
+    return;
+  }
+  CollectNode(node.left, box, out);
+  CollectNode(node.right, box, out);
+}
+
+}  // namespace sthist

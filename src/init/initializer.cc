@@ -1,0 +1,57 @@
+#include "init/initializer.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sthist {
+
+Box ExtendedBoundingRectangle(const SubspaceCluster& cluster,
+                              const Box& domain) {
+  STHIST_CHECK(cluster.core_box.dim() == domain.dim());
+  std::vector<bool> relevant(domain.dim(), false);
+  for (size_t d : cluster.relevant_dims) relevant[d] = true;
+
+  std::vector<double> lo(domain.dim()), hi(domain.dim());
+  for (size_t d = 0; d < domain.dim(); ++d) {
+    if (relevant[d]) {
+      lo[d] = cluster.core_box.lo(d);
+      hi[d] = cluster.core_box.hi(d);
+    } else {
+      lo[d] = domain.lo(d);
+      hi[d] = domain.hi(d);
+    }
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+size_t InitializeHistogram(const std::vector<SubspaceCluster>& clusters,
+                           const Box& domain, const CardinalityOracle& oracle,
+                           const InitializerConfig& config, Histogram* hist) {
+  STHIST_CHECK(hist != nullptr);
+
+  // Clusters arrive sorted by descending score from RunMineClus; re-sort
+  // defensively so callers can pass arbitrary orderings.
+  std::vector<const SubspaceCluster*> ordered;
+  ordered.reserve(clusters.size());
+  for (const SubspaceCluster& c : clusters) ordered.push_back(&c);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SubspaceCluster* a, const SubspaceCluster* b) {
+              return a->score > b->score;
+            });
+  if (config.reversed) std::reverse(ordered.begin(), ordered.end());
+
+  size_t fed = 0;
+  for (const SubspaceCluster* cluster : ordered) {
+    if (fed >= config.max_clusters) break;
+    Box bucket = config.use_extended_br
+                     ? ExtendedBoundingRectangle(*cluster, domain)
+                     : cluster->core_box;
+    if (bucket.Volume() <= 0.0) continue;
+    hist->Refine(bucket, oracle);
+    ++fed;
+  }
+  return fed;
+}
+
+}  // namespace sthist

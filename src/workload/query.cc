@@ -1,0 +1,11 @@
+#include "workload/query.h"
+
+namespace sthist {
+
+Executor::Executor(const Dataset& data) : index_(data) {}
+
+double Executor::Count(const Box& box) const {
+  return static_cast<double>(index_.Count(box));
+}
+
+}  // namespace sthist

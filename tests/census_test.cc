@@ -1,0 +1,89 @@
+#include "histogram/census.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/query.h"
+
+namespace sthist {
+namespace {
+
+// Oracle with a fixed answer, enough to drive drilling in these tests.
+class ConstantOracle : public CardinalityOracle {
+ public:
+  explicit ConstantOracle(double count) : count_(count) {}
+  double Count(const Box& /*box*/) const override { return count_; }
+
+ private:
+  double count_;
+};
+
+STHolesConfig Budget(size_t buckets) {
+  STHolesConfig config;
+  config.max_buckets = buckets;
+  return config;
+}
+
+TEST(CensusTest, EmptyHistogramHasNoBuckets) {
+  STHoles h(Box::Cube(3, 0, 100), 1000, Budget(10));
+  CensusResult census = CensusSubspaceBuckets(h);
+  EXPECT_EQ(census.total_buckets, 0u);
+  EXPECT_EQ(census.subspace_buckets, 0u);
+}
+
+TEST(CensusTest, FullDimensionalBucketIsNotSubspace) {
+  STHoles h(Box::Cube(3, 0, 100), 1000, Budget(10));
+  ConstantOracle oracle(10);
+  h.Refine(Box::Cube(3, 10, 20), oracle);
+  CensusResult census = CensusSubspaceBuckets(h);
+  EXPECT_EQ(census.total_buckets, 1u);
+  EXPECT_EQ(census.subspace_buckets, 0u);
+  EXPECT_EQ(census.max_unused_dims, 0u);
+}
+
+TEST(CensusTest, DomainSpanningBucketIsSubspace) {
+  STHoles h(Box::Cube(3, 0, 100), 1000, Budget(10));
+  ConstantOracle oracle(10);
+  // Spans the full domain in dimensions 0 and 2.
+  h.Refine(Box({0.0, 40.0, 0.0}, {100.0, 60.0, 100.0}), oracle);
+  CensusResult census = CensusSubspaceBuckets(h);
+  EXPECT_EQ(census.total_buckets, 1u);
+  EXPECT_EQ(census.subspace_buckets, 1u);
+  EXPECT_EQ(census.max_unused_dims, 2u);
+  ASSERT_EQ(census.unused_dims_per_bucket.size(), 1u);
+  EXPECT_EQ(census.unused_dims_per_bucket[0], 2u);
+}
+
+TEST(CensusTest, MixedTreeCountsOnlySpanningBuckets) {
+  STHoles h(Box::Cube(2, 0, 100), 1000, Budget(10));
+  ConstantOracle oracle(10);
+  // Disjoint drill targets, so no candidate shrinking kicks in.
+  h.Refine(Box({0.0, 10.0}, {100.0, 20.0}), oracle);   // Subspace (dim 0).
+  h.Refine(Box({0.0, 50.0}, {100.0, 60.0}), oracle);   // Subspace (dim 0).
+  h.Refine(Box({30.0, 70.0}, {50.0, 90.0}), oracle);   // Full-dimensional.
+  CensusResult census = CensusSubspaceBuckets(h);
+  EXPECT_EQ(census.total_buckets, 3u);
+  EXPECT_EQ(census.subspace_buckets, 2u);
+}
+
+TEST(CensusTest, ToleranceWidensTheNet) {
+  STHoles h(Box::Cube(2, 0, 100), 1000, Budget(10));
+  ConstantOracle oracle(10);
+  // Spans 99% of dimension 0.
+  h.Refine(Box({0.5, 10.0}, {99.5, 20.0}), oracle);
+  EXPECT_EQ(CensusSubspaceBuckets(h, 1e-9).subspace_buckets, 0u);
+  EXPECT_EQ(CensusSubspaceBuckets(h, 0.02).subspace_buckets, 1u);
+}
+
+TEST(CensusTest, FormatBucketTreeShowsHierarchy) {
+  STHoles h(Box::Cube(2, 0, 100), 1000, Budget(10));
+  ConstantOracle oracle(10);
+  h.Refine(Box::Cube(2, 10, 90), oracle);
+  h.Refine(Box::Cube(2, 30, 60), oracle);
+  std::string text = FormatBucketTree(h);
+  EXPECT_NE(text.find("[0,100]x[0,100]"), std::string::npos);
+  EXPECT_NE(text.find("  [10,90]x[10,90]"), std::string::npos);
+  EXPECT_NE(text.find("    [30,60]x[30,60]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sthist

@@ -1,0 +1,90 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/generators.h"
+
+namespace sthist {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CsvTest, RoundTripPreservesValues) {
+  Dataset data(3);
+  data.Append(Point{1.5, -2.25, 3.0});
+  data.Append(Point{0.0, 1e-9, 123456.789});
+
+  std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(data, path));
+  std::optional<Dataset> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), data.size());
+  ASSERT_EQ(loaded->dim(), data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t d = 0; d < data.dim(); ++d) {
+      EXPECT_DOUBLE_EQ(loaded->value(i, d), data.value(i, d));
+    }
+  }
+}
+
+TEST(CsvTest, RoundTripGeneratedDataset) {
+  CrossConfig config;
+  config.tuples_per_cluster = 200;
+  config.noise_tuples = 50;
+  GeneratedData g = MakeCross(config);
+  std::string path = TempPath("cross.csv");
+  ASSERT_TRUE(WriteCsv(g.data, path));
+  std::optional<Dataset> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), g.data.size());
+  EXPECT_EQ(loaded->Bounds(), g.data.Bounds());
+}
+
+TEST(CsvTest, HeaderRowIsSkipped) {
+  std::string path = TempPath("header.csv");
+  {
+    std::ofstream out(path);
+    out << "x,y\n1,2\n3,4\n";
+  }
+  std::optional<Dataset> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->dim(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->value(1, 1), 4.0);
+}
+
+TEST(CsvTest, MalformedMidFileFails) {
+  std::string path = TempPath("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\nnot,numbers\n";
+  }
+  EXPECT_FALSE(ReadCsv(path).has_value());
+}
+
+TEST(CsvTest, RaggedRowsFail) {
+  std::string path = TempPath("ragged.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\n3,4,5\n";
+  }
+  EXPECT_FALSE(ReadCsv(path).has_value());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsv(TempPath("does_not_exist.csv")).has_value());
+}
+
+TEST(CsvTest, EmptyFileFails) {
+  std::string path = TempPath("empty.csv");
+  { std::ofstream out(path); }
+  EXPECT_FALSE(ReadCsv(path).has_value());
+}
+
+}  // namespace
+}  // namespace sthist

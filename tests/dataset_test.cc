@@ -1,0 +1,65 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace sthist {
+namespace {
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset data(3);
+  data.Append(Point{1.0, 2.0, 3.0});
+  data.Append(Point{4.0, 5.0, 6.0});
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.dim(), 3u);
+  EXPECT_DOUBLE_EQ(data.value(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(data.value(1, 2), 6.0);
+  std::span<const double> row = data.row(1);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[1], 5.0);
+}
+
+TEST(DatasetTest, EmptyDatasetHasSizeZero) {
+  Dataset data(4);
+  EXPECT_EQ(data.size(), 0u);
+}
+
+TEST(DatasetTest, BoundsIsTight) {
+  Dataset data(2);
+  data.Append(Point{1.0, 10.0});
+  data.Append(Point{-5.0, 3.0});
+  data.Append(Point{2.0, 7.0});
+  Box b = data.Bounds();
+  EXPECT_EQ(b, Box({-5.0, 3.0}, {2.0, 10.0}));
+}
+
+TEST(DatasetTest, BoundsOfSubset) {
+  Dataset data(2);
+  data.Append(Point{0.0, 0.0});
+  data.Append(Point{10.0, 10.0});
+  data.Append(Point{5.0, 5.0});
+  std::vector<size_t> rows = {0, 2};
+  Box b = data.BoundsOf(rows);
+  EXPECT_EQ(b, Box({0.0, 0.0}, {5.0, 5.0}));
+}
+
+TEST(DatasetTest, CountInBoxClosedIntervals) {
+  Dataset data(2);
+  data.Append(Point{0.0, 0.0});
+  data.Append(Point{1.0, 1.0});
+  data.Append(Point{0.5, 0.5});
+  data.Append(Point{2.0, 2.0});
+  EXPECT_EQ(data.CountInBox(Box({0.0, 0.0}, {1.0, 1.0})), 3u);
+  EXPECT_EQ(data.CountInBox(Box({1.5, 1.5}, {3.0, 3.0})), 1u);
+  EXPECT_EQ(data.CountInBox(Box({5.0, 5.0}, {6.0, 6.0})), 0u);
+}
+
+TEST(DatasetTest, SingleTupleBoundsIsDegenerate) {
+  Dataset data(2);
+  data.Append(Point{3.0, 4.0});
+  Box b = data.Bounds();
+  EXPECT_EQ(b, Box({3.0, 4.0}, {3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(b.Volume(), 0.0);
+}
+
+}  // namespace
+}  // namespace sthist

@@ -1,0 +1,128 @@
+#include "histogram/equiwidth.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/generators.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace sthist {
+namespace {
+
+TEST(EquiWidthTest, SingleCellIsTrivialHistogram) {
+  Dataset data(2);
+  data.Append(Point{5.0, 5.0});
+  data.Append(Point{7.0, 2.0});
+  Box domain = Box::Cube(2, 0, 10);
+  EquiWidthHistogram h(data, domain, 1);
+  EXPECT_EQ(h.bucket_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Estimate(domain), 2.0);
+  EXPECT_DOUBLE_EQ(h.Estimate(Box::Cube(2, 0, 5)), 0.5);
+}
+
+TEST(EquiWidthTest, CellAlignedQueriesAreExact) {
+  // Points placed so each 2x2 grid cell of [0,10]^2 with 5 cells/dim holds a
+  // known count.
+  Dataset data(2);
+  data.Append(Point{1.0, 1.0});   // Cell (0,0).
+  data.Append(Point{1.5, 1.5});   // Cell (0,0).
+  data.Append(Point{9.0, 9.0});   // Cell (4,4).
+  Box domain = Box::Cube(2, 0, 10);
+  EquiWidthHistogram h(data, domain, 5);
+  EXPECT_EQ(h.bucket_count(), 25u);
+  EXPECT_DOUBLE_EQ(h.Estimate(Box::Cube(2, 0, 2)), 2.0);
+  EXPECT_DOUBLE_EQ(h.Estimate(Box::Cube(2, 8, 10)), 1.0);
+  EXPECT_DOUBLE_EQ(h.Estimate(Box::Cube(2, 2, 8)), 0.0);
+  EXPECT_DOUBLE_EQ(h.Estimate(domain), 3.0);
+}
+
+TEST(EquiWidthTest, PartialCellUsesUniformityFraction) {
+  Dataset data(1);
+  data.Append(Point{1.0});  // The only cell [0,10) with 1 cell/dim... use 2.
+  Box domain = Box::Cube(1, 0, 10);
+  EquiWidthHistogram h(data, domain, 2);
+  // Point is in cell [0,5); querying [0,2.5] covers half that cell.
+  EXPECT_DOUBLE_EQ(h.Estimate(Box({0.0}, {2.5})), 0.5);
+}
+
+TEST(EquiWidthTest, QueryOutsideDomainIsZero) {
+  Dataset data(2);
+  data.Append(Point{5.0, 5.0});
+  EquiWidthHistogram h(data, Box::Cube(2, 0, 10), 4);
+  EXPECT_DOUBLE_EQ(h.Estimate(Box::Cube(2, 20, 30)), 0.0);
+}
+
+TEST(EquiWidthTest, BoundaryPointGoesToLastCell) {
+  Dataset data(1);
+  data.Append(Point{10.0});  // Exactly the domain max.
+  EquiWidthHistogram h(data, Box::Cube(1, 0, 10), 5);
+  EXPECT_DOUBLE_EQ(h.Estimate(Box({8.0}, {10.0})), 1.0);
+}
+
+TEST(EquiWidthTest, PointsOutsideDomainAreDropped) {
+  Dataset data(1);
+  data.Append(Point{5.0});
+  data.Append(Point{15.0});  // Outside.
+  EquiWidthHistogram h(data, Box::Cube(1, 0, 10), 2);
+  EXPECT_DOUBLE_EQ(h.Estimate(Box::Cube(1, 0, 10)), 1.0);
+}
+
+TEST(EquiWidthTest, RefineIsANoop) {
+  GeneratedData g = MakeCross(CrossConfig{.tuples_per_cluster = 500,
+                                          .noise_tuples = 100});
+  Executor executor(g.data);
+  EquiWidthHistogram h(g.data, g.domain, 8);
+  Box q = Box::Cube(2, 100, 300);
+  double before = h.Estimate(q);
+  h.Refine(q, executor);
+  EXPECT_DOUBLE_EQ(h.Estimate(q), before);
+}
+
+// Property sweep: on any data, a fine grid's estimate converges toward the
+// true count as resolution increases, and full-domain estimates equal the
+// in-domain tuple count exactly.
+class EquiWidthPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EquiWidthPropertyTest, FullDomainMassIsExact) {
+  CrossConfig config;
+  config.tuples_per_cluster = 1000;
+  config.noise_tuples = 200;
+  config.seed = GetParam();
+  GeneratedData g = MakeCross(config);
+  EquiWidthHistogram h(g.data, g.domain, GetParam() % 7 + 2);
+  EXPECT_NEAR(h.Estimate(g.domain), static_cast<double>(g.data.size()),
+              1e-6);
+}
+
+TEST_P(EquiWidthPropertyTest, FinerGridsReduceWorkloadError) {
+  CrossConfig config;
+  config.tuples_per_cluster = 2000;
+  config.noise_tuples = 400;
+  config.seed = GetParam();
+  GeneratedData g = MakeCross(config);
+  Executor executor(g.data);
+
+  WorkloadConfig wc;
+  wc.num_queries = 100;
+  wc.volume_fraction = 0.01;
+  wc.seed = GetParam();
+  Workload w = MakeWorkload(g.domain, wc);
+
+  auto mae = [&](size_t cells) {
+    EquiWidthHistogram h(g.data, g.domain, cells);
+    double total = 0;
+    for (const Box& q : w) {
+      total += std::abs(h.Estimate(q) - executor.Count(q));
+    }
+    return total / static_cast<double>(w.size());
+  };
+
+  EXPECT_LT(mae(32), mae(2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquiWidthPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace sthist

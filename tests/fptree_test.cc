@@ -1,0 +1,144 @@
+#include "clustering/fptree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace sthist {
+namespace {
+
+WeightedTransaction T(std::vector<int> items, double weight = 1.0) {
+  WeightedTransaction t;
+  t.items = std::move(items);
+  t.weight = weight;
+  return t;
+}
+
+TEST(FpTreeTest, SingleItemSupport) {
+  std::vector<WeightedTransaction> txs = {T({0}), T({0}), T({1})};
+  FpTree tree(txs, 2, 1.0);
+  EXPECT_DOUBLE_EQ(tree.ItemSupport(0), 2.0);
+  EXPECT_DOUBLE_EQ(tree.ItemSupport(1), 1.0);
+  EXPECT_EQ(tree.frequent_item_count(), 2u);
+}
+
+TEST(FpTreeTest, MinSupportFiltersItems) {
+  std::vector<WeightedTransaction> txs = {T({0}), T({0}), T({1})};
+  FpTree tree(txs, 2, 2.0);
+  EXPECT_EQ(tree.frequent_item_count(), 1u);
+  BestItemset best = tree.MineBest(2.0);
+  EXPECT_EQ(best.items, std::vector<int>{0});
+  EXPECT_DOUBLE_EQ(best.support, 2.0);
+}
+
+TEST(FpTreeTest, NoQualifyingItemsetGivesNegativeScore) {
+  std::vector<WeightedTransaction> txs = {T({0})};
+  FpTree tree(txs, 2, 5.0);
+  BestItemset best = tree.MineBest(2.0);
+  EXPECT_LT(best.score, 0.0);
+  EXPECT_TRUE(best.items.empty());
+}
+
+TEST(FpTreeTest, GainTradesSupportForSize) {
+  // {0,1} together in 4 transactions; {2} alone in 10.
+  std::vector<WeightedTransaction> txs;
+  for (int i = 0; i < 4; ++i) txs.push_back(T({0, 1}));
+  for (int i = 0; i < 10; ++i) txs.push_back(T({2}));
+  FpTree tree(txs, 3, 2.0);
+
+  // Low gain: the big singleton wins (10*2 = 20 vs 4*2*2 = 16).
+  BestItemset low = tree.MineBest(2.0);
+  EXPECT_EQ(low.items, std::vector<int>{2});
+  EXPECT_DOUBLE_EQ(low.score, 20.0);
+
+  // High gain: the pair wins (4*16 = 64 vs 10*4 = 40).
+  BestItemset high = tree.MineBest(4.0);
+  EXPECT_EQ(high.items, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(high.support, 4.0);
+  EXPECT_DOUBLE_EQ(high.score, 64.0);
+}
+
+TEST(FpTreeTest, MinItemsExcludesSingletons) {
+  std::vector<WeightedTransaction> txs;
+  for (int i = 0; i < 10; ++i) txs.push_back(T({0}));
+  for (int i = 0; i < 3; ++i) txs.push_back(T({1, 2}));
+  FpTree tree(txs, 3, 2.0);
+  BestItemset best = tree.MineBest(2.0, /*min_items=*/2);
+  EXPECT_EQ(best.items, (std::vector<int>{1, 2}));
+}
+
+TEST(FpTreeTest, WeightedTransactionsAccumulate) {
+  std::vector<WeightedTransaction> txs = {T({0, 1}, 5.0), T({0}, 2.0)};
+  FpTree tree(txs, 2, 1.0);
+  EXPECT_DOUBLE_EQ(tree.ItemSupport(0), 7.0);
+  EXPECT_DOUBLE_EQ(tree.ItemSupport(1), 5.0);
+  BestItemset best = tree.MineBest(3.0);
+  // {0,1}: 5*9 = 45 beats {0}: 7*3 = 21.
+  EXPECT_EQ(best.items, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(best.score, 45.0);
+}
+
+TEST(FpTreeTest, SharedPrefixesCompress) {
+  // All transactions share item 0; subsets beyond differ.
+  std::vector<WeightedTransaction> txs = {T({0, 1, 2}), T({0, 1}), T({0, 2}),
+                                          T({0})};
+  FpTree tree(txs, 3, 1.0);
+  EXPECT_DOUBLE_EQ(tree.ItemSupport(0), 4.0);
+  BestItemset best = tree.MineBest(1.0);
+  // gain 1: maximize raw support -> singleton {0} with support 4.
+  EXPECT_EQ(best.items, std::vector<int>{0});
+  EXPECT_DOUBLE_EQ(best.support, 4.0);
+}
+
+// Exhaustive reference: enumerate all itemsets over a small universe and
+// compare against the FP-tree miner across random instances.
+class FpTreeExhaustiveTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FpTreeExhaustiveTest, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  const int kItems = 7;
+  const double kMinSupport = 3.0;
+
+  std::vector<WeightedTransaction> txs;
+  int n = 40 + static_cast<int>(rng.Index(40));
+  for (int i = 0; i < n; ++i) {
+    WeightedTransaction t;
+    for (int item = 0; item < kItems; ++item) {
+      if (rng.Bernoulli(0.4)) t.items.push_back(item);
+    }
+    if (!t.items.empty()) txs.push_back(std::move(t));
+  }
+
+  for (double gain : {1.0, 2.0, 5.0}) {
+    FpTree tree(txs, kItems, kMinSupport);
+    BestItemset mined = tree.MineBest(gain);
+
+    double best_score = -1.0;
+    for (int mask = 1; mask < (1 << kItems); ++mask) {
+      double support = 0.0;
+      for (const WeightedTransaction& t : txs) {
+        int tmask = 0;
+        for (int item : t.items) tmask |= 1 << item;
+        if ((tmask & mask) == mask) support += t.weight;
+      }
+      if (support < kMinSupport) continue;
+      double score = support * std::pow(gain, __builtin_popcount(mask));
+      if (score > best_score) best_score = score;
+    }
+
+    if (best_score < 0.0) {
+      EXPECT_LT(mined.score, 0.0);
+    } else {
+      EXPECT_NEAR(mined.score, best_score, 1e-9)
+          << "gain=" << gain << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FpTreeExhaustiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sthist

@@ -1,0 +1,170 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sthist {
+namespace {
+
+TEST(CrossTest, PaperDefaultsMatchTable1) {
+  GeneratedData g = MakeCross(CrossConfig{});
+  EXPECT_EQ(g.data.dim(), 2u);
+  EXPECT_EQ(g.data.size(), 22000u) << "2 clusters x 10k + 2k noise";
+  EXPECT_EQ(g.truth.size(), 2u);
+}
+
+TEST(CrossTest, ClustersAreOneDimensionalBands) {
+  GeneratedData g = MakeCross(CrossConfig{});
+  for (const PlantedCluster& c : g.truth) {
+    EXPECT_EQ(c.relevant_dims.size(), 1u)
+        << "2-d cross clusters are (n-1)=1 dimensional";
+    EXPECT_EQ(c.tuples, 10000u);
+    // The cluster spans the full domain in its irrelevant dimension.
+    size_t relevant = c.relevant_dims[0];
+    size_t spanning = 1 - relevant;
+    EXPECT_DOUBLE_EQ(c.extent.lo(spanning), g.domain.lo(spanning));
+    EXPECT_DOUBLE_EQ(c.extent.hi(spanning), g.domain.hi(spanning));
+    EXPECT_LT(c.extent.Extent(relevant), 0.1 * g.domain.Extent(relevant));
+  }
+}
+
+TEST(CrossTest, ClusterTuplesActuallyFallInsideBands) {
+  GeneratedData g = MakeCross(CrossConfig{});
+  for (const PlantedCluster& c : g.truth) {
+    size_t count = g.data.CountInBox(c.extent);
+    // The band contains its own 10k tuples, tuples from the other band
+    // where they cross, plus a little noise.
+    EXPECT_GE(count, c.tuples);
+  }
+}
+
+TEST(CrossTest, HigherDimensionalVariants) {
+  for (size_t dim : {3u, 4u, 5u}) {
+    CrossConfig config;
+    config.dim = dim;
+    config.tuples_per_cluster = 3000;
+    config.noise_tuples = 500;
+    GeneratedData g = MakeCross(config);
+    EXPECT_EQ(g.data.dim(), dim);
+    EXPECT_EQ(g.truth.size(), dim) << "n clusters in n dimensions";
+    EXPECT_EQ(g.data.size(), dim * 3000 + 500);
+    for (const PlantedCluster& c : g.truth) {
+      EXPECT_EQ(c.relevant_dims.size(), dim - 1)
+          << "each cluster is (n-1)-dimensional";
+    }
+  }
+}
+
+TEST(CrossTest, DeterministicForSameSeed) {
+  GeneratedData a = MakeCross(CrossConfig{});
+  GeneratedData b = MakeCross(CrossConfig{});
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.data.value(i, 0), b.data.value(i, 0));
+  }
+}
+
+TEST(GaussTest, PaperDefaultsMatchTable1) {
+  GaussConfig config;
+  config.cluster_tuples = 20000;  // Scaled for test runtime.
+  config.noise_tuples = 2000;
+  GeneratedData g = MakeGauss(config);
+  EXPECT_EQ(g.data.dim(), 6u);
+  EXPECT_EQ(g.data.size(), 22000u);
+  EXPECT_EQ(g.truth.size(), 10u);
+}
+
+TEST(GaussTest, SubspaceDimensionalityWithinConfiguredRange) {
+  GaussConfig config;
+  config.cluster_tuples = 5000;
+  config.noise_tuples = 500;
+  GeneratedData g = MakeGauss(config);
+  for (const PlantedCluster& c : g.truth) {
+    EXPECT_GE(c.relevant_dims.size(), config.min_subspace_dims);
+    EXPECT_LE(c.relevant_dims.size(), config.max_subspace_dims);
+  }
+}
+
+TEST(GaussTest, ClusterMassLandsInsideExtent) {
+  GaussConfig config;
+  config.cluster_tuples = 20000;
+  config.noise_tuples = 0;
+  GeneratedData g = MakeGauss(config);
+  size_t total_truth = 0;
+  for (const PlantedCluster& c : g.truth) {
+    total_truth += c.tuples;
+    size_t inside = g.data.CountInBox(c.extent);
+    // ±3σ captures ≈99.7% of a bell; allow other clusters' overlap to only
+    // increase the count.
+    EXPECT_GE(inside, static_cast<size_t>(0.95 * c.tuples));
+  }
+  EXPECT_EQ(total_truth, config.cluster_tuples);
+}
+
+TEST(SkyTest, SevenDimensionsAndTwentyClusters) {
+  SkyConfig config;
+  config.tuples = 30000;
+  GeneratedData g = MakeSky(config);
+  EXPECT_EQ(g.data.dim(), 7u);
+  EXPECT_EQ(g.data.size(), 30000u);
+  EXPECT_EQ(g.truth.size(), 20u) << "Table 4 lists 20 clusters";
+}
+
+TEST(SkyTest, SubspaceStructureMatchesTable4) {
+  SkyConfig config;
+  config.tuples = 20000;
+  GeneratedData g = MakeSky(config);
+  size_t full_dimensional = 0, subspace = 0;
+  std::multiset<size_t> unused_counts;
+  for (const PlantedCluster& c : g.truth) {
+    size_t unused = 7 - c.relevant_dims.size();
+    unused_counts.insert(unused);
+    if (unused == 0) {
+      ++full_dimensional;
+    } else {
+      ++subspace;
+    }
+  }
+  EXPECT_EQ(full_dimensional, 11u) << "Table 4: 11 full-dimensional clusters";
+  EXPECT_EQ(subspace, 9u) << "Table 4: 9 subspace clusters";
+  EXPECT_EQ(unused_counts.count(1), 3u)
+      << "Table 4: C6, C10, C14 have one unused dim";
+  EXPECT_EQ(unused_counts.count(2), 3u);
+  EXPECT_EQ(unused_counts.count(3), 1u);
+  EXPECT_EQ(unused_counts.count(4), 1u);
+  EXPECT_EQ(unused_counts.count(5), 1u);
+}
+
+TEST(SkyTest, DomainIsAstronomical) {
+  SkyConfig config;
+  config.tuples = 1000;
+  GeneratedData g = MakeSky(config);
+  EXPECT_DOUBLE_EQ(g.domain.lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.domain.hi(0), 360.0);
+  EXPECT_DOUBLE_EQ(g.domain.lo(1), -90.0);
+  EXPECT_DOUBLE_EQ(g.domain.hi(1), 90.0);
+  for (size_t d = 2; d < 7; ++d) {
+    EXPECT_DOUBLE_EQ(g.domain.lo(d), 10.0);
+    EXPECT_DOUBLE_EQ(g.domain.hi(d), 25.0);
+  }
+  // Every tuple lies in the domain.
+  for (size_t i = 0; i < g.data.size(); ++i) {
+    EXPECT_TRUE(g.domain.ContainsPoint(g.data.row(i)));
+  }
+}
+
+TEST(ParticleTest, HighDimensionalStress) {
+  ParticleConfig config;
+  config.cluster_tuples = 5000;
+  config.noise_tuples = 1000;
+  GeneratedData g = MakeParticle(config);
+  EXPECT_EQ(g.data.dim(), 18u);
+  EXPECT_EQ(g.data.size(), 6000u);
+  for (const PlantedCluster& c : g.truth) {
+    EXPECT_LE(c.relevant_dims.size(), config.max_subspace_dims);
+  }
+}
+
+}  // namespace
+}  // namespace sthist

@@ -1,0 +1,207 @@
+#include "init/initializer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/generators.h"
+#include "histogram/census.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+
+namespace sthist {
+namespace {
+
+SubspaceCluster MakeCluster(Box core, std::vector<size_t> dims, double score) {
+  SubspaceCluster c;
+  c.core_box = std::move(core);
+  c.relevant_dims = std::move(dims);
+  c.score = score;
+  return c;
+}
+
+TEST(ExtendedBrTest, SpansDomainInIrrelevantDims) {
+  Box domain = Box::Cube(3, 0, 100);
+  SubspaceCluster c = MakeCluster(
+      Box({10.0, 20.0, 30.0}, {15.0, 25.0, 35.0}), {0, 2}, 1.0);
+  Box ebr = ExtendedBoundingRectangle(c, domain);
+  EXPECT_DOUBLE_EQ(ebr.lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(ebr.hi(0), 15.0);
+  EXPECT_DOUBLE_EQ(ebr.lo(1), 0.0) << "irrelevant dim spans the domain";
+  EXPECT_DOUBLE_EQ(ebr.hi(1), 100.0);
+  EXPECT_DOUBLE_EQ(ebr.lo(2), 30.0);
+  EXPECT_DOUBLE_EQ(ebr.hi(2), 35.0);
+}
+
+TEST(ExtendedBrTest, FullDimensionalClusterIsJustTheMbr) {
+  Box domain = Box::Cube(2, 0, 100);
+  SubspaceCluster c =
+      MakeCluster(Box({10.0, 20.0}, {15.0, 25.0}), {0, 1}, 1.0);
+  Box ebr = ExtendedBoundingRectangle(c, domain);
+  EXPECT_EQ(ebr, c.core_box);
+}
+
+class CountingOracle : public CardinalityOracle {
+ public:
+  explicit CountingOracle(const Dataset& data) : executor_(data) {}
+  double Count(const Box& box) const override {
+    ++calls_;
+    return executor_.Count(box);
+  }
+  size_t calls() const { return calls_; }
+
+ private:
+  Executor executor_;
+  mutable size_t calls_ = 0;
+};
+
+TEST(InitializerTest, FeedsClustersAsInitialBuckets) {
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 2000;
+  data_config.noise_tuples = 400;
+  GeneratedData g = MakeCross(data_config);
+  CountingOracle oracle(g.data);
+
+  std::vector<SubspaceCluster> clusters;
+  for (const PlantedCluster& truth : g.truth) {
+    SubspaceCluster c;
+    c.core_box = truth.extent;
+    c.relevant_dims = truth.relevant_dims;
+    c.score = static_cast<double>(truth.tuples);
+    clusters.push_back(std::move(c));
+  }
+
+  STHolesConfig config;
+  config.max_buckets = 50;
+  STHoles hist(g.domain, static_cast<double>(g.data.size()), config);
+  size_t fed = InitializeHistogram(clusters, g.domain, oracle,
+                                   InitializerConfig{}, &hist);
+  EXPECT_EQ(fed, 2u);
+  EXPECT_GE(hist.bucket_count(), 2u);
+  // The first-fed band survives as a spanning bucket; the second overlaps it
+  // and gets shrunk by STHoles, so at least one subspace bucket remains.
+  EXPECT_GE(CensusSubspaceBuckets(hist).subspace_buckets, 1u);
+}
+
+TEST(InitializerTest, MaxClustersCapsFeeding) {
+  Box domain = Box::Cube(2, 0, 100);
+  Dataset data(2);
+  data.Append(Point{50.0, 50.0});
+  CountingOracle oracle(data);
+
+  std::vector<SubspaceCluster> clusters;
+  for (int i = 0; i < 5; ++i) {
+    double lo = 10.0 * i;
+    clusters.push_back(MakeCluster(Box({lo, lo}, {lo + 5, lo + 5}), {0, 1},
+                                   100.0 - i));
+  }
+
+  STHolesConfig config;
+  config.max_buckets = 50;
+  STHoles hist(domain, 1, config);
+  InitializerConfig init;
+  init.max_clusters = 2;
+  EXPECT_EQ(InitializeHistogram(clusters, domain, oracle, init, &hist), 2u);
+  EXPECT_EQ(hist.bucket_count(), 2u);
+}
+
+TEST(InitializerTest, FeedingOrderShapesOverlappingBuckets) {
+  // Two overlapping clusters: whichever is fed first keeps its exact box;
+  // the second is shrunk around it (the mechanism behind the paper's
+  // importance ordering and the Fig. 13 reversed-order control).
+  Dataset data(2);
+  Rng rng(8);
+  Point p(2);
+  for (int i = 0; i < 500; ++i) {
+    p[0] = rng.Uniform(10, 40);
+    p[1] = rng.Uniform(10, 40);
+    data.Append(p);
+  }
+  CountingOracle oracle(data);
+  Box domain = Box::Cube(2, 0, 100);
+
+  Box box_a({10.0, 10.0}, {30.0, 30.0});
+  Box box_b({20.0, 20.0}, {40.0, 40.0});
+  std::vector<SubspaceCluster> clusters = {
+      MakeCluster(box_a, {0, 1}, 2.0),  // More important.
+      MakeCluster(box_b, {0, 1}, 1.0),
+  };
+
+  auto bucket_boxes = [&](bool reversed) {
+    STHolesConfig config;
+    config.max_buckets = 20;
+    STHoles hist(domain, 500, config);
+    InitializerConfig init;
+    init.reversed = reversed;
+    InitializeHistogram(clusters, domain, oracle, init, &hist);
+    std::vector<Box> boxes;
+    for (const STHoles::BucketInfo& info : hist.Dump()) {
+      if (info.depth > 0) boxes.push_back(info.box);
+    }
+    return boxes;
+  };
+
+  std::vector<Box> normal = bucket_boxes(false);
+  std::vector<Box> reversed = bucket_boxes(true);
+
+  auto contains = [](const std::vector<Box>& boxes, const Box& b) {
+    for (const Box& x : boxes) {
+      if (x == b) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(normal, box_a))
+      << "fed first, the important cluster keeps its exact box";
+  EXPECT_TRUE(contains(reversed, box_b))
+      << "reversed order protects the unimportant cluster instead";
+  EXPECT_FALSE(contains(normal, box_b))
+      << "the later overlapping cluster is shrunk";
+  EXPECT_FALSE(contains(reversed, box_a));
+}
+
+TEST(InitializerTest, MbrAblationUsesCoreBox) {
+  Box domain = Box::Cube(2, 0, 100);
+  Dataset data(2);
+  data.Append(Point{50.0, 12.0});
+  CountingOracle oracle(data);
+
+  std::vector<SubspaceCluster> clusters = {
+      MakeCluster(Box({40.0, 10.0}, {60.0, 15.0}), {1}, 10.0)};
+
+  STHolesConfig config;
+  config.max_buckets = 10;
+
+  STHoles extended(domain, 1, config);
+  InitializerConfig init_extended;
+  init_extended.use_extended_br = true;
+  InitializeHistogram(clusters, domain, oracle, init_extended, &extended);
+  EXPECT_EQ(CensusSubspaceBuckets(extended).subspace_buckets, 1u)
+      << "extended BR spans the irrelevant dimension";
+
+  STHoles mbr(domain, 1, config);
+  InitializerConfig init_mbr;
+  init_mbr.use_extended_br = false;
+  InitializeHistogram(clusters, domain, oracle, init_mbr, &mbr);
+  EXPECT_EQ(CensusSubspaceBuckets(mbr).subspace_buckets, 0u)
+      << "plain MBR keeps the cluster full-dimensional";
+}
+
+TEST(InitializerTest, ZeroVolumeClustersAreSkipped) {
+  Box domain = Box::Cube(2, 0, 100);
+  Dataset data(2);
+  data.Append(Point{50.0, 50.0});
+  CountingOracle oracle(data);
+
+  // A degenerate (single-point) full-dimensional cluster.
+  std::vector<SubspaceCluster> clusters = {
+      MakeCluster(Box({50.0, 50.0}, {50.0, 50.0}), {0, 1}, 10.0)};
+  STHolesConfig config;
+  config.max_buckets = 10;
+  STHoles hist(domain, 1, config);
+  InitializerConfig init;
+  init.use_extended_br = false;
+  EXPECT_EQ(InitializeHistogram(clusters, domain, oracle, init, &hist), 0u);
+  EXPECT_EQ(hist.bucket_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sthist

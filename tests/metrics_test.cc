@@ -1,0 +1,119 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "histogram/stholes.h"
+#include "histogram/trivial.h"
+#include "workload/query.h"
+
+namespace sthist {
+namespace {
+
+TEST(MetricsTest, MeanAbsoluteErrorByHand) {
+  // One point at (5,5); trivial histogram with the wrong total so errors are
+  // predictable.
+  Dataset data(2);
+  data.Append(Point{5.0, 5.0});
+  Executor executor(data);
+  Box domain = Box::Cube(2, 0, 10);
+  TrivialHistogram h(domain, 100.0);
+
+  Workload w = {Box::Cube(2, 0, 10), Box::Cube(2, 0, 5)};
+  // Query 1: est 100, real 1 -> error 99.
+  // Query 2: est 25, real 1 (the point sits on the closed boundary) -> 24.
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(h, w, executor), (99.0 + 24.0) / 2.0);
+}
+
+TEST(MetricsTest, PerfectHistogramHasZeroError) {
+  Dataset data(2);
+  for (int i = 0; i < 16; ++i) {
+    data.Append(Point{1.0 + (i % 4) * 2.0, 1.0 + (i / 4) * 2.0});
+  }
+  Executor executor(data);
+  Box domain = Box::Cube(2, 0, 8);
+  TrivialHistogram h(domain, 16.0);
+  // Uniform grid data and the aligned full-domain query: exact.
+  Workload w = {domain};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(h, w, executor), 0.0);
+}
+
+TEST(MetricsTest, NormalizedErrorDividesByTrivial) {
+  Dataset data(2);
+  data.Append(Point{5.0, 5.0});
+  Executor executor(data);
+  Box domain = Box::Cube(2, 0, 10);
+  Workload w = {Box::Cube(2, 0, 5)};
+
+  TrivialHistogram trivial(domain, 1.0);
+  double trivial_mae = MeanAbsoluteError(trivial, w, executor);
+  ASSERT_GT(trivial_mae, 0.0);
+  EXPECT_DOUBLE_EQ(
+      NormalizedAbsoluteError(trivial_mae, domain, 1.0, w, executor), 1.0)
+      << "the trivial histogram's own NAE is 1 by definition";
+  EXPECT_DOUBLE_EQ(
+      NormalizedAbsoluteError(0.5 * trivial_mae, domain, 1.0, w, executor),
+      0.5);
+}
+
+TEST(MetricsTest, SimulateWithoutLearningLeavesHistogramUnchanged) {
+  CrossConfig config;
+  config.tuples_per_cluster = 1000;
+  config.noise_tuples = 200;
+  GeneratedData g = MakeCross(config);
+  Executor executor(g.data);
+
+  STHolesConfig hc;
+  hc.max_buckets = 20;
+  STHoles h(g.domain, static_cast<double>(g.data.size()), hc);
+
+  WorkloadConfig wc;
+  wc.num_queries = 30;
+  Workload w = MakeWorkload(g.domain, wc);
+
+  double mae = SimulateAndMeasure(&h, w, executor, /*learn=*/false);
+  EXPECT_EQ(h.bucket_count(), 0u);
+  EXPECT_DOUBLE_EQ(mae, MeanAbsoluteError(h, w, executor))
+      << "without learning, simulation equals plain measurement";
+}
+
+TEST(MetricsTest, SimulateWithLearningImprovesOverTime) {
+  CrossConfig config;
+  config.tuples_per_cluster = 3000;
+  config.noise_tuples = 600;
+  GeneratedData g = MakeCross(config);
+  Executor executor(g.data);
+
+  STHolesConfig hc;
+  hc.max_buckets = 50;
+  STHoles h(g.domain, static_cast<double>(g.data.size()), hc);
+
+  WorkloadConfig wc;
+  wc.num_queries = 300;
+  Workload w = MakeWorkload(g.domain, wc);
+
+  double first_pass = SimulateAndMeasure(&h, w, executor, /*learn=*/true);
+  double second_pass = MeanAbsoluteError(h, w, executor);
+  EXPECT_LT(second_pass, first_pass)
+      << "after seeing the workload once, it estimates better";
+}
+
+TEST(MetricsTest, TrainOnlyRefines) {
+  CrossConfig config;
+  config.tuples_per_cluster = 1000;
+  config.noise_tuples = 100;
+  GeneratedData g = MakeCross(config);
+  Executor executor(g.data);
+
+  STHolesConfig hc;
+  hc.max_buckets = 20;
+  STHoles h(g.domain, static_cast<double>(g.data.size()), hc);
+  WorkloadConfig wc;
+  wc.num_queries = 50;
+  Workload w = MakeWorkload(g.domain, wc);
+  Train(&h, w, executor);
+  EXPECT_GT(h.bucket_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sthist

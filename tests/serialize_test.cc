@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/generators.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace sthist {
+namespace {
+
+STHolesConfig Budget(size_t buckets) {
+  STHolesConfig config;
+  config.max_buckets = buckets;
+  return config;
+}
+
+TEST(SerializeTest, FreshHistogramRoundTrips) {
+  STHoles h(Box::Cube(3, 0, 100), 1234, Budget(10));
+  std::string text = h.Serialize();
+  auto loaded = STHoles::Deserialize(text, Budget(10));
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->bucket_count(), 0u);
+  EXPECT_DOUBLE_EQ(loaded->Estimate(Box::Cube(3, 0, 100)), 1234.0);
+  EXPECT_EQ(loaded->Serialize(), text);
+}
+
+TEST(SerializeTest, TrainedHistogramRoundTripsBitExact) {
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 2000;
+  data_config.noise_tuples = 400;
+  GeneratedData g = MakeCross(data_config);
+  Executor executor(g.data);
+
+  STHoles h(g.domain, static_cast<double>(g.data.size()), Budget(40));
+  WorkloadConfig wc;
+  wc.num_queries = 150;
+  Workload w = MakeWorkload(g.domain, wc);
+  for (const Box& q : w) h.Refine(q, executor);
+
+  std::string text = h.Serialize();
+  auto loaded = STHoles::Deserialize(text, Budget(40));
+  ASSERT_NE(loaded, nullptr);
+  loaded->CheckInvariants();
+  EXPECT_EQ(loaded->bucket_count(), h.bucket_count());
+  EXPECT_EQ(loaded->Serialize(), text) << "round trip is bit exact";
+
+  wc.seed = 99;
+  Workload probes = MakeWorkload(g.domain, wc);
+  for (const Box& q : probes) {
+    EXPECT_DOUBLE_EQ(loaded->Estimate(q), h.Estimate(q));
+  }
+}
+
+TEST(SerializeTest, DeserializedHistogramKeepsLearning) {
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 1000;
+  data_config.noise_tuples = 200;
+  GeneratedData g = MakeCross(data_config);
+  Executor executor(g.data);
+
+  STHoles h(g.domain, static_cast<double>(g.data.size()), Budget(20));
+  h.Refine(Box::Cube(2, 400, 600), executor);
+  auto loaded = STHoles::Deserialize(h.Serialize(), Budget(20));
+  ASSERT_NE(loaded, nullptr);
+  loaded->Refine(Box::Cube(2, 100, 300), executor);
+  loaded->CheckInvariants();
+  EXPECT_GT(loaded->bucket_count(), h.bucket_count() - 1);
+}
+
+TEST(SerializeTest, GarbageIsRejected) {
+  EXPECT_EQ(STHoles::Deserialize("", Budget(10)), nullptr);
+  EXPECT_EQ(STHoles::Deserialize("not a histogram", Budget(10)), nullptr);
+  EXPECT_EQ(STHoles::Deserialize("STHoles v1 dim=0 buckets=1\n", Budget(10)),
+            nullptr);
+}
+
+TEST(SerializeTest, TruncatedInputIsRejected) {
+  STHoles h(Box::Cube(2, 0, 100), 10, Budget(10));
+  Dataset data(2);
+  data.Append(Point{50.0, 50.0});
+  Executor executor(data);
+  h.Refine(Box::Cube(2, 40, 60), executor);
+  std::string text = h.Serialize();
+  EXPECT_EQ(STHoles::Deserialize(text.substr(0, text.size() / 2), Budget(10)),
+            nullptr);
+}
+
+TEST(SerializeTest, OverlappingSiblingsAreRejected) {
+  std::string bad =
+      "STHoles v1 dim=1 buckets=3\n"
+      "0 0 100 10\n"
+      "1 10 30 1\n"
+      "1 20 40 1\n";  // Overlaps the previous child.
+  EXPECT_EQ(STHoles::Deserialize(bad, Budget(10)), nullptr);
+}
+
+TEST(SerializeTest, ChildEscapingParentIsRejected) {
+  std::string bad =
+      "STHoles v1 dim=1 buckets=2\n"
+      "0 0 100 10\n"
+      "1 50 150 1\n";
+  EXPECT_EQ(STHoles::Deserialize(bad, Budget(10)), nullptr);
+}
+
+TEST(SerializeTest, DepthJumpIsRejected) {
+  std::string bad =
+      "STHoles v1 dim=1 buckets=2\n"
+      "0 0 100 10\n"
+      "2 10 20 1\n";  // Depth 2 with no depth-1 ancestor.
+  EXPECT_EQ(STHoles::Deserialize(bad, Budget(10)), nullptr);
+}
+
+TEST(SerializeTest, NegativeFrequencyIsRejected) {
+  std::string bad =
+      "STHoles v1 dim=1 buckets=2\n"
+      "0 0 100 10\n"
+      "1 10 20 -5\n";
+  EXPECT_EQ(STHoles::Deserialize(bad, Budget(10)), nullptr);
+}
+
+}  // namespace
+}  // namespace sthist

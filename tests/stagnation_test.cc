@@ -1,0 +1,193 @@
+// Empirical verification of the paper's stagnation analysis (§3.2):
+// detecting a cluster is never cheaper than storing it (Lemma 1), a uniform
+// m x k cluster (m, k >= 2) is storable with one bucket but not detectable
+// with one bucket under unit grid queries (Lemma 2), and a dense core that
+// gets captured first blocks detection of the surrounding cluster (Lemma 3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace sthist {
+namespace {
+
+// Builds a dataset on the integer grid [0,N)^2: `density` points per unit
+// cell inside `cells` (a box in cell coordinates), laid out at deterministic
+// offsets so every unit cell holds exactly `density` points.
+void FillCells(const Box& cells, size_t density, Dataset* data) {
+  for (int x = static_cast<int>(cells.lo(0)); x < cells.hi(0); ++x) {
+    for (int y = static_cast<int>(cells.lo(1)); y < cells.hi(1); ++y) {
+      for (size_t k = 0; k < density; ++k) {
+        double frac = (static_cast<double>(k) + 0.5) /
+                      static_cast<double>(density);
+        data->Append(Point{x + frac, y + 0.5});
+      }
+    }
+  }
+}
+
+// Mean absolute error of the histogram over all unit cells of the grid.
+double GridError(const STHoles& hist, const Workload& cells,
+                 const Executor& executor) {
+  double total = 0;
+  for (const Box& cell : cells) {
+    total += std::abs(hist.Estimate(cell) - executor.Count(cell));
+  }
+  return total / static_cast<double>(cells.size());
+}
+
+struct GridSetup {
+  Dataset data{2};
+  Box domain;
+  Workload cells;
+};
+
+GridSetup MakeUniformClusterSetup(const Box& cluster_cells, size_t grid_n,
+                                  size_t density, uint64_t seed) {
+  GridSetup setup;
+  setup.domain = Box::Cube(2, 0, static_cast<double>(grid_n));
+  FillCells(cluster_cells, density, &setup.data);
+  setup.cells = MakeGridWorkload(setup.domain, grid_n, seed);
+  return setup;
+}
+
+// Lemma 2(1): one bucket suffices to *store* an m x k uniform cluster: the
+// histogram initialized with exactly the cluster box has zero error.
+TEST(StagnationTest, OneBucketStoresUniformCluster) {
+  Box cluster_cells({2.0, 3.0}, {7.0, 6.0});  // 5 x 3 cells.
+  GridSetup setup = MakeUniformClusterSetup(cluster_cells, 10, 8, 1);
+  Executor executor(setup.data);
+
+  STHolesConfig config;
+  config.max_buckets = 1;
+  STHoles hist(setup.domain, static_cast<double>(setup.data.size()), config);
+  hist.Refine(cluster_cells, executor);  // The storing configuration.
+  EXPECT_NEAR(GridError(hist, setup.cells, executor), 0.0, 1e-9)
+      << "sigma(C, 0) = 1 for a uniform rectangular cluster";
+}
+
+// Lemma 2(3): with a budget of one bucket, unit queries cannot assemble an
+// m x k cluster (m, k >= 2) — the histogram stagnates at high error even
+// after many epochs of full grid coverage.
+TEST(StagnationTest, OneBucketCannotDetectTwoDimensionalCluster) {
+  Box cluster_cells({2.0, 3.0}, {7.0, 6.0});  // 5 x 3 cells, unit density 8.
+  GridSetup setup = MakeUniformClusterSetup(cluster_cells, 10, 8, 2);
+  Executor executor(setup.data);
+
+  STHolesConfig config;
+  config.max_buckets = 1;
+  STHoles hist(setup.domain, static_cast<double>(setup.data.size()), config);
+
+  double err = 0;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    for (const Box& cell : setup.cells) hist.Refine(cell, executor);
+    err = GridError(hist, setup.cells, executor);
+  }
+  // The storing configuration has error 0; one bucket can capture at most a
+  // single row/column worth of the cluster, leaving substantial error.
+  EXPECT_GT(err, 1.0) << "omega(C, 0) > 1 for a 2-d cluster";
+}
+
+// Lemma 2(3), second half: a 1 x k cluster *is* detectable with one bucket.
+TEST(StagnationTest, OneBucketDetectsOneRowCluster) {
+  Box cluster_cells({2.0, 3.0}, {7.0, 4.0});  // 5 x 1 cells.
+  GridSetup setup = MakeUniformClusterSetup(cluster_cells, 10, 8, 3);
+  Executor executor(setup.data);
+
+  STHolesConfig config;
+  config.max_buckets = 1;
+  STHoles hist(setup.domain, static_cast<double>(setup.data.size()), config);
+
+  double err = 1e9;
+  for (int epoch = 0; epoch < 6 && err > 0.5; ++epoch) {
+    for (const Box& cell : setup.cells) hist.Refine(cell, executor);
+    err = GridError(hist, setup.cells, executor);
+  }
+  EXPECT_LT(err, 0.5) << "a single row merges cell-by-cell into one bucket";
+}
+
+// Detectability needs more memory than storage (omega >= sigma, and here
+// omega > sigma): the same 2-d cluster that one bucket cannot assemble is
+// learned once a second bucket is available.
+TEST(StagnationTest, TwoBucketsDetectWithAFriendlyWorkload) {
+  // Lemma 2(2) is existential: *some* workload detects the cluster with two
+  // buckets. The friendly workload walks the cluster's cells in row-major
+  // order, so adjacent same-density buckets merge at zero penalty and
+  // assemble the cluster; a second pass corrects the frequencies.
+  Box cluster_cells({2.0, 3.0}, {7.0, 6.0});
+  GridSetup setup = MakeUniformClusterSetup(cluster_cells, 10, 8, 4);
+  Executor executor(setup.data);
+
+  auto crafted_error = [&](size_t buckets) {
+    STHolesConfig config;
+    config.max_buckets = buckets;
+    STHoles hist(setup.domain, static_cast<double>(setup.data.size()),
+                 config);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int y = 3; y < 6; ++y) {
+        for (int x = 2; x < 7; ++x) {
+          hist.Refine(Box({static_cast<double>(x), static_cast<double>(y)},
+                          {x + 1.0, y + 1.0}),
+                      executor);
+        }
+      }
+    }
+    return GridError(hist, setup.cells, executor);
+  };
+
+  // Even the friendly workload cannot beat the one-bucket limit (Lemma
+  // 2(3)), but two buckets detect the cluster exactly: omega(C, 0) = 2.
+  double err_one = crafted_error(1);
+  double err_two = crafted_error(2);
+  EXPECT_GT(err_one, 1.0);
+  EXPECT_NEAR(err_two, 0.0, 1e-9);
+}
+
+// Lemma 3: once a bucket captures the dense core, a budget of two buckets
+// cannot detect the surrounding cluster any more — the core bucket never
+// merges with cluster fragments (the density gap is too expensive), so the
+// fragments fight over a single remaining slot.
+TEST(StagnationTest, DenseCoreBlocksClusterDetection) {
+  const size_t kGrid = 10;
+  Box cluster_cells({2.0, 2.0}, {8.0, 8.0});  // 6 x 6 cluster, density 4.
+  Box core_cell({4.0, 4.0}, {5.0, 5.0});      // Unit core, density gamma=40.
+
+  GridSetup setup;
+  setup.domain = Box::Cube(2, 0, static_cast<double>(kGrid));
+  FillCells(cluster_cells, 4, &setup.data);
+  FillCells(core_cell, 36, &setup.data);  // 4 + 36 = 40 = gamma > 3.
+  setup.cells = MakeGridWorkload(setup.domain, kGrid, 5);
+  Executor executor(setup.data);
+
+  STHolesConfig config;
+  config.max_buckets = 2;
+  STHoles hist(setup.domain, static_cast<double>(setup.data.size()), config);
+  // The workload queries the core first (the lemma's precondition).
+  hist.Refine(core_cell, executor);
+
+  double err = 0;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    for (const Box& cell : setup.cells) hist.Refine(cell, executor);
+    err = GridError(hist, setup.cells, executor);
+  }
+
+  // A histogram that stores core + cluster exactly (2 buckets) has ~0 error;
+  // the stagnated self-tuned one keeps a large reducible error.
+  STHoles stored(setup.domain, static_cast<double>(setup.data.size()),
+                 config);
+  stored.Refine(Box({2.0, 2.0}, {8.0, 8.0}), executor);
+  stored.Refine(core_cell, executor);
+  double stored_err = GridError(stored, setup.cells, executor);
+
+  EXPECT_LT(stored_err, 0.1) << "sigma(C, ~0) = 2 including the core";
+  EXPECT_GT(err, 5.0 * (stored_err + 0.1))
+      << "self-tuning stagnates with reducible error";
+}
+
+}  // namespace
+}  // namespace sthist

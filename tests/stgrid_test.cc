@@ -1,0 +1,158 @@
+#include "histogram/stgrid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "data/generators.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace sthist {
+namespace {
+
+STGridConfig Config(size_t cells, size_t restructure_interval = 0) {
+  STGridConfig config;
+  config.cells_per_dim = cells;
+  config.restructure_interval = restructure_interval;
+  return config;
+}
+
+TEST(STGridTest, FreshGridIsUniform) {
+  STGridHistogram h(Box::Cube(2, 0, 100), 1000, Config(4));
+  EXPECT_EQ(h.bucket_count(), 16u);
+  EXPECT_NEAR(h.Estimate(Box::Cube(2, 0, 100)), 1000.0, 1e-9);
+  EXPECT_NEAR(h.Estimate(Box::Cube(2, 0, 50)), 250.0, 1e-9);
+  EXPECT_NEAR(h.TotalFrequency(), 1000.0, 1e-9);
+}
+
+TEST(STGridTest, DeltaRuleMovesTowardTruth) {
+  Dataset data(2);
+  Rng rng(5);
+  Point p(2);
+  for (int i = 0; i < 1000; ++i) {
+    p[0] = rng.Uniform(0, 25);  // All mass in the left-most column.
+    p[1] = rng.Uniform(0, 100);
+    data.Append(p);
+  }
+  Executor executor(data);
+
+  STGridHistogram h(Box::Cube(2, 0, 100), 1000, Config(4));
+  Box q({0.0, 0.0}, {25.0, 100.0});
+  double err_before = std::abs(h.Estimate(q) - executor.Count(q));
+  for (int i = 0; i < 20; ++i) h.Refine(q, executor);
+  double err_after = std::abs(h.Estimate(q) - executor.Count(q));
+  EXPECT_LT(err_after, 0.1 * err_before);
+}
+
+TEST(STGridTest, RefinementKeepsFrequenciesNonNegative) {
+  Dataset data(2);
+  data.Append(Point{99.0, 99.0});  // Nearly empty relation.
+  Executor executor(data);
+
+  STGridHistogram h(Box::Cube(2, 0, 100), 10000, Config(4));
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Uniform(0, 60), y = rng.Uniform(0, 60);
+    h.Refine(Box({x, y}, {x + 40, y + 40}), executor);
+  }
+  EXPECT_GE(h.TotalFrequency(), 0.0);
+  EXPECT_GE(h.Estimate(Box::Cube(2, 0, 100)), 0.0);
+}
+
+TEST(STGridTest, RestructureKeepsBudgetAndMass) {
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 2000;
+  data_config.noise_tuples = 400;
+  GeneratedData g = MakeCross(data_config);
+  Executor executor(g.data);
+
+  STGridConfig config = Config(8, /*restructure_interval=*/50);
+  STGridHistogram h(g.domain, static_cast<double>(g.data.size()), config);
+  size_t buckets = h.bucket_count();
+
+  WorkloadConfig wc;
+  wc.num_queries = 300;
+  Workload w = MakeWorkload(g.domain, wc);
+  double before_mass = h.TotalFrequency();
+  for (const Box& q : w) h.Refine(q, executor);
+  EXPECT_EQ(h.bucket_count(), buckets) << "restructuring holds the budget";
+  // Mass changes through the delta rule, but must stay in a sane range.
+  EXPECT_GT(h.TotalFrequency(), 0.1 * before_mass);
+  EXPECT_LT(h.TotalFrequency(), 10.0 * before_mass);
+  // Boundaries stay sorted and within the domain.
+  for (size_t d = 0; d < 2; ++d) {
+    const std::vector<double>& bounds = h.boundaries(d);
+    EXPECT_DOUBLE_EQ(bounds.front(), g.domain.lo(d));
+    EXPECT_DOUBLE_EQ(bounds.back(), g.domain.hi(d));
+    for (size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LE(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+TEST(STGridTest, TrainingReducesWorkloadError) {
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 3000;
+  data_config.noise_tuples = 600;
+  GeneratedData g = MakeCross(data_config);
+  Executor executor(g.data);
+
+  STGridHistogram h(g.domain, static_cast<double>(g.data.size()),
+                    Config(8, 100));
+  WorkloadConfig wc;
+  wc.num_queries = 400;
+  Workload w = MakeWorkload(g.domain, wc);
+
+  auto workload_error = [&]() {
+    double total = 0;
+    for (const Box& q : w) {
+      total += std::abs(h.Estimate(q) - executor.Count(q));
+    }
+    return total / static_cast<double>(w.size());
+  };
+
+  double untrained = workload_error();
+  for (const Box& q : w) h.Refine(q, executor);
+  EXPECT_LT(workload_error(), untrained);
+}
+
+TEST(STGridTest, WeakerFeedbackLosesToSTHoles) {
+  // The reason STHoles is the paper's self-tuning representative: with the
+  // same budget and workload, grid + total-cardinality feedback cannot keep
+  // up with tree + per-region feedback.
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 4000;
+  data_config.noise_tuples = 800;
+  GeneratedData g = MakeCross(data_config);
+  Executor executor(g.data);
+
+  WorkloadConfig wc;
+  wc.num_queries = 500;
+  Workload train = MakeWorkload(g.domain, wc);
+  wc.seed = 42;
+  Workload eval = MakeWorkload(g.domain, wc);
+
+  STGridHistogram grid(g.domain, static_cast<double>(g.data.size()),
+                       Config(8, 100));  // 64 buckets.
+  for (const Box& q : train) grid.Refine(q, executor);
+
+  STHolesConfig sc;
+  sc.max_buckets = 64;
+  STHoles holes(g.domain, static_cast<double>(g.data.size()), sc);
+  for (const Box& q : train) holes.Refine(q, executor);
+
+  auto mae = [&](const Histogram& h) {
+    double total = 0;
+    for (const Box& q : eval) {
+      total += std::abs(h.Estimate(q) - executor.Count(q));
+    }
+    return total / static_cast<double>(eval.size());
+  };
+  EXPECT_LT(mae(holes), mae(grid));
+}
+
+}  // namespace
+}  // namespace sthist

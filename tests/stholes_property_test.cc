@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+#include "data/generators.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace sthist {
+namespace {
+
+// Fuzzed structural invariants: arbitrary query sequences on real generated
+// data must keep the bucket tree valid, the budget respected, estimates
+// non-negative, and eq. (1) over the whole domain equal to the tracked mass.
+struct FuzzParam {
+  size_t buckets;
+  double volume_fraction;
+  uint64_t seed;
+};
+
+class STHolesFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(STHolesFuzzTest, InvariantsSurviveRandomWorkloads) {
+  const FuzzParam param = GetParam();
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 2000;
+  data_config.noise_tuples = 400;
+  data_config.seed = param.seed;
+  GeneratedData g = MakeCross(data_config);
+  Executor executor(g.data);
+
+  STHolesConfig config;
+  config.max_buckets = param.buckets;
+  STHoles h(g.domain, static_cast<double>(g.data.size()), config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 120;
+  wc.volume_fraction = param.volume_fraction;
+  wc.seed = param.seed + 100;
+  Workload w = MakeWorkload(g.domain, wc);
+
+  for (const Box& q : w) {
+    h.Refine(q, executor);
+    h.CheckInvariants();
+    ASSERT_LE(h.bucket_count(), param.buckets);
+    double est = h.Estimate(q);
+    ASSERT_GE(est, -1e-9);
+    ASSERT_NEAR(h.Estimate(h.domain()), h.TotalFrequency(), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, STHolesFuzzTest,
+    ::testing::Values(FuzzParam{1, 0.01, 1}, FuzzParam{3, 0.01, 2},
+                      FuzzParam{10, 0.005, 3}, FuzzParam{25, 0.02, 4},
+                      FuzzParam{50, 0.05, 5}, FuzzParam{100, 0.01, 6},
+                      FuzzParam{5, 0.10, 7}, FuzzParam{2, 0.001, 8}));
+
+// The same invariants in higher-dimensional spaces, where shrinking and
+// merging exercise many more geometric cases.
+struct HighDimFuzzParam {
+  size_t dim;
+  size_t buckets;
+  double volume_fraction;
+  uint64_t seed;
+};
+
+class STHolesHighDimFuzzTest
+    : public ::testing::TestWithParam<HighDimFuzzParam> {};
+
+TEST_P(STHolesHighDimFuzzTest, InvariantsSurviveRandomWorkloads) {
+  const HighDimFuzzParam param = GetParam();
+  GaussConfig data_config;
+  data_config.dim = param.dim;
+  data_config.max_subspace_dims = std::min<size_t>(param.dim, 5);
+  data_config.cluster_tuples = 3000;
+  data_config.noise_tuples = 600;
+  data_config.seed = param.seed;
+  GeneratedData g = MakeGauss(data_config);
+  Executor executor(g.data);
+
+  STHolesConfig config;
+  config.max_buckets = param.buckets;
+  STHoles h(g.domain, static_cast<double>(g.data.size()), config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 60;
+  wc.volume_fraction = param.volume_fraction;
+  wc.seed = param.seed + 1000;
+  Workload w = MakeWorkload(g.domain, wc);
+
+  for (const Box& q : w) {
+    h.Refine(q, executor);
+    h.CheckInvariants();
+    ASSERT_LE(h.bucket_count(), param.buckets);
+    ASSERT_GE(h.Estimate(q), -1e-9);
+    ASSERT_NEAR(h.Estimate(h.domain()), h.TotalFrequency(), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, STHolesHighDimFuzzTest,
+    ::testing::Values(HighDimFuzzParam{3, 10, 0.01, 21},
+                      HighDimFuzzParam{4, 20, 0.02, 22},
+                      HighDimFuzzParam{5, 15, 0.01, 23},
+                      HighDimFuzzParam{6, 30, 0.02, 24},
+                      HighDimFuzzParam{7, 25, 0.01, 25},
+                      HighDimFuzzParam{10, 20, 0.05, 26}));
+
+// With an unlimited budget (no merges ever run) and exact feedback, every
+// frequency in the tree stays exact, so any learned query estimates exactly
+// and the total mass equals the relation size at all times.
+class STHolesExactnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(STHolesExactnessTest, UnlimitedBudgetKeepsFrequenciesExact) {
+  GaussConfig data_config;
+  data_config.dim = 3;
+  data_config.cluster_tuples = 4000;
+  data_config.noise_tuples = 400;
+  data_config.max_subspace_dims = 3;
+  data_config.seed = GetParam();
+  GeneratedData g = MakeGauss(data_config);
+  Executor executor(g.data);
+
+  STHolesConfig config;
+  config.max_buckets = 1000000;  // Never merge.
+  STHoles h(g.domain, static_cast<double>(g.data.size()), config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 60;
+  wc.volume_fraction = 0.02;
+  wc.seed = GetParam() + 7;
+  Workload w = MakeWorkload(g.domain, wc);
+
+  // Without merges, every bucket frequency stays an exact region count, so
+  // the tracked mass equals the relation size after every refinement. (Note
+  // that even exact frequencies do not make every learned query estimate
+  // exactly: the greedy shrink can permanently cut query parts away — the
+  // very "stagnation" behaviour §3.2 analyzes.)
+  const double total = static_cast<double>(g.data.size());
+  double untrained_mae = 0.0;
+  for (const Box& q : w) {
+    untrained_mae += std::abs(h.Estimate(q) - executor.Count(q));
+  }
+  untrained_mae /= static_cast<double>(w.size());
+
+  for (const Box& q : w) {
+    h.Refine(q, executor);
+    ASSERT_NEAR(h.TotalFrequency(), total, 1e-6)
+        << "exact feedback without merges conserves mass exactly";
+    h.CheckInvariants();
+  }
+
+  // A second pass over the same queries refines the leftovers; with an
+  // unlimited budget the workload error collapses far below the untrained
+  // level.
+  for (const Box& q : w) h.Refine(q, executor);
+  double trained_mae = 0.0;
+  for (const Box& q : w) {
+    trained_mae += std::abs(h.Estimate(q) - executor.Count(q));
+  }
+  trained_mae /= static_cast<double>(w.size());
+  EXPECT_LT(trained_mae, 0.2 * untrained_mae);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, STHolesExactnessTest,
+                         ::testing::Values(11, 12, 13));
+
+// Learning must not make the histogram worse on the workload it has seen:
+// after training, workload error is far below the untrained uniform error.
+TEST(STHolesLearningTest, TrainingReducesWorkloadError) {
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 4000;
+  data_config.noise_tuples = 800;
+  GeneratedData g = MakeCross(data_config);
+  Executor executor(g.data);
+
+  STHolesConfig config;
+  config.max_buckets = 50;
+  STHoles h(g.domain, static_cast<double>(g.data.size()), config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 200;
+  wc.volume_fraction = 0.01;
+  Workload w = MakeWorkload(g.domain, wc);
+
+  auto workload_error = [&](const STHoles& hist) {
+    double total = 0;
+    for (const Box& q : w) {
+      total += std::abs(hist.Estimate(q) - executor.Count(q));
+    }
+    return total / static_cast<double>(w.size());
+  };
+
+  double untrained = workload_error(h);
+  for (const Box& q : w) h.Refine(q, executor);
+  double trained = workload_error(h);
+  EXPECT_LT(trained, 0.5 * untrained);
+}
+
+// Degenerate inputs: queries with zero volume must be ignored gracefully.
+TEST(STHolesEdgeTest, ZeroVolumeQueryIsIgnored) {
+  Dataset data(2);
+  data.Append(Point{50.0, 50.0});
+  Executor executor(data);
+  STHolesConfig config;
+  config.max_buckets = 5;
+  STHoles h(Box::Cube(2, 0, 100), 1, config);
+  h.Refine(Box({10.0, 10.0}, {10.0, 90.0}), executor);  // A line.
+  EXPECT_EQ(h.bucket_count(), 0u);
+  h.CheckInvariants();
+}
+
+TEST(STHolesEdgeTest, TinySliverQueriesDoNotCorruptTree) {
+  Dataset data(2);
+  Rng rng(3);
+  Point p(2);
+  for (int i = 0; i < 1000; ++i) {
+    p[0] = rng.Uniform(0, 100);
+    p[1] = rng.Uniform(0, 100);
+    data.Append(p);
+  }
+  Executor executor(data);
+  STHolesConfig config;
+  config.max_buckets = 10;
+  STHoles h(Box::Cube(2, 0, 100), 1000, config);
+  for (int i = 0; i < 50; ++i) {
+    double x = rng.Uniform(0, 99);
+    // Extremely thin but positive-volume slivers.
+    h.Refine(Box({x, 0.0}, {x + 1e-7, 100.0}), executor);
+    h.CheckInvariants();
+  }
+}
+
+}  // namespace
+}  // namespace sthist

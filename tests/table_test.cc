@@ -1,0 +1,48 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sthist {
+namespace {
+
+TEST(TableTest, RendersHeaderRuleAndRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "22"});
+  std::string out = table.ToString();
+  EXPECT_EQ(out,
+            "| name  | value |\n"
+            "|-------|-------|\n"
+            "| alpha | 1     |\n"
+            "| beta  | 22    |\n");
+}
+
+TEST(TableTest, ColumnsWidenToContent) {
+  TablePrinter table({"x"});
+  table.AddRow({"longer-than-header"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| longer-than-header |"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+TEST(TableTest, EmptyTableIsJustHeader) {
+  TablePrinter table({"only"});
+  std::string out = table.ToString();
+  EXPECT_EQ(out, "| only |\n|------|\n");
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatSize(42), "42");
+  EXPECT_EQ(FormatSize(0), "0");
+}
+
+}  // namespace
+}  // namespace sthist

@@ -1,0 +1,70 @@
+#include "histogram/trivial.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/generators.h"
+#include "workload/query.h"
+
+namespace sthist {
+namespace {
+
+TEST(TrivialTest, FullDomainQueryReturnsTotal) {
+  Box domain = Box::Cube(2, 0, 100);
+  TrivialHistogram h(domain, 5000);
+  EXPECT_DOUBLE_EQ(h.Estimate(domain), 5000.0);
+}
+
+TEST(TrivialTest, EstimateIsProportionalToVolume) {
+  Box domain = Box::Cube(2, 0, 100);
+  TrivialHistogram h(domain, 1000);
+  EXPECT_DOUBLE_EQ(h.Estimate(Box::Cube(2, 0, 50)), 250.0)
+      << "a quarter of the area holds a quarter of the mass";
+  EXPECT_DOUBLE_EQ(h.Estimate(Box::Cube(2, 0, 10)), 10.0);
+}
+
+TEST(TrivialTest, QueryOutsideDomainEstimatesZero) {
+  Box domain = Box::Cube(2, 0, 100);
+  TrivialHistogram h(domain, 1000);
+  EXPECT_DOUBLE_EQ(h.Estimate(Box::Cube(2, 200, 300)), 0.0);
+}
+
+TEST(TrivialTest, QueryPartiallyOutsideClamps) {
+  Box domain = Box::Cube(1, 0, 100);
+  TrivialHistogram h(domain, 100);
+  // [-50, 50] overlaps half the domain.
+  EXPECT_DOUBLE_EQ(h.Estimate(Box({-50.0}, {50.0})), 50.0);
+}
+
+TEST(TrivialTest, RefineIsANoop) {
+  GeneratedData g = MakeCross(CrossConfig{.tuples_per_cluster = 500,
+                                          .noise_tuples = 100});
+  Executor executor(g.data);
+  TrivialHistogram h(g.domain, static_cast<double>(g.data.size()));
+  Box q = Box::Cube(2, 400, 600);
+  double before = h.Estimate(q);
+  h.Refine(q, executor);
+  EXPECT_DOUBLE_EQ(h.Estimate(q), before);
+  EXPECT_EQ(h.bucket_count(), 1u);
+}
+
+TEST(TrivialTest, ExactOnUniformData) {
+  // On genuinely uniform data the trivial histogram is nearly exact — the
+  // baseline property that makes the normalized error metric meaningful.
+  Dataset data(2);
+  Rng rng(5);
+  Point p(2);
+  for (int i = 0; i < 50000; ++i) {
+    p[0] = rng.Uniform(0, 100);
+    p[1] = rng.Uniform(0, 100);
+    data.Append(p);
+  }
+  Executor executor(data);
+  TrivialHistogram h(Box::Cube(2, 0, 100), 50000);
+  Box q = Box::Cube(2, 20, 60);
+  double real = executor.Count(q);
+  EXPECT_NEAR(h.Estimate(q), real, 0.05 * real);
+}
+
+}  // namespace
+}  // namespace sthist

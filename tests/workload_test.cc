@@ -1,0 +1,135 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "data/generators.h"
+
+namespace sthist {
+namespace {
+
+TEST(WorkloadTest, QueryCountAndDimensionality) {
+  Box domain = Box::Cube(3, 0, 1000);
+  WorkloadConfig config;
+  config.num_queries = 50;
+  Workload w = MakeWorkload(domain, config);
+  EXPECT_EQ(w.size(), 50u);
+  for (const Box& q : w) EXPECT_EQ(q.dim(), 3u);
+}
+
+TEST(WorkloadTest, QueriesHaveExactVolumeFraction) {
+  Box domain = Box::Cube(2, 0, 1000);
+  WorkloadConfig config;
+  config.num_queries = 200;
+  config.volume_fraction = 0.01;
+  Workload w = MakeWorkload(domain, config);
+  for (const Box& q : w) {
+    EXPECT_NEAR(q.Volume(), 0.01 * domain.Volume(), 1e-6)
+        << "queries are shifted, not clipped, so volume is exact";
+  }
+}
+
+TEST(WorkloadTest, QueriesStayInsideDomain) {
+  Box domain({0.0, -90.0}, {360.0, 90.0});
+  WorkloadConfig config;
+  config.num_queries = 500;
+  config.volume_fraction = 0.02;
+  Workload w = MakeWorkload(domain, config);
+  for (const Box& q : w) {
+    EXPECT_TRUE(domain.Contains(q));
+  }
+}
+
+TEST(WorkloadTest, DataCenteredQueriesFollowData) {
+  // A dataset concentrated in one corner: data-centered queries must cluster
+  // there while uniform ones spread out.
+  Dataset data(2);
+  Rng rng(3);
+  Point p(2);
+  for (int i = 0; i < 500; ++i) {
+    p[0] = rng.Uniform(0, 100);
+    p[1] = rng.Uniform(0, 100);
+    data.Append(p);
+  }
+  Box domain = Box::Cube(2, 0, 1000);
+  WorkloadConfig config;
+  config.num_queries = 200;
+  config.centers = CenterDistribution::kData;
+  Workload w = MakeWorkload(domain, config, &data);
+
+  Box corner = Box::Cube(2, 0, 200);
+  size_t in_corner = 0;
+  for (const Box& q : w) {
+    if (corner.Contains(q)) ++in_corner;
+  }
+  EXPECT_GT(in_corner, w.size() * 9 / 10);
+}
+
+TEST(WorkloadTest, PermutedIsSameMultisetDifferentOrder) {
+  Box domain = Box::Cube(2, 0, 1000);
+  WorkloadConfig config;
+  config.num_queries = 100;
+  Workload w = MakeWorkload(domain, config);
+  Workload pi = Permuted(w, 99);
+  ASSERT_EQ(pi.size(), w.size());
+
+  bool any_moved = false;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (!(w[i] == pi[i])) any_moved = true;
+  }
+  EXPECT_TRUE(any_moved);
+
+  auto key = [](const Box& b) { return std::make_pair(b.lo(0), b.lo(1)); };
+  std::vector<std::pair<double, double>> a, b;
+  for (const Box& q : w) a.push_back(key(q));
+  for (const Box& q : pi) b.push_back(key(q));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  Box domain = Box::Cube(2, 0, 1000);
+  WorkloadConfig config;
+  config.num_queries = 20;
+  Workload a = MakeWorkload(domain, config);
+  Workload b = MakeWorkload(domain, config);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(GridWorkloadTest, CoversDomainExactly) {
+  Box domain = Box::Cube(2, 0, 10);
+  Workload w = MakeGridWorkload(domain, 10, 5);
+  EXPECT_EQ(w.size(), 100u) << "10x10 unit cells";
+  double total_volume = 0;
+  for (const Box& q : w) {
+    EXPECT_TRUE(domain.Contains(q));
+    EXPECT_NEAR(q.Volume(), 1.0, 1e-12);
+    total_volume += q.Volume();
+  }
+  EXPECT_NEAR(total_volume, domain.Volume(), 1e-9);
+}
+
+TEST(GridWorkloadTest, CellsAreDisjoint) {
+  Box domain = Box::Cube(2, 0, 4);
+  Workload w = MakeGridWorkload(domain, 4, 5);
+  for (size_t i = 0; i < w.size(); ++i) {
+    for (size_t j = i + 1; j < w.size(); ++j) {
+      EXPECT_FALSE(w[i].Intersects(w[j]));
+    }
+  }
+}
+
+TEST(GridWorkloadTest, ThreeDimensionalGrid) {
+  Box domain = Box::Cube(3, 0, 6);
+  Workload w = MakeGridWorkload(domain, 3, 7);
+  EXPECT_EQ(w.size(), 27u);
+  for (const Box& q : w) {
+    EXPECT_NEAR(q.Volume(), 8.0, 1e-12) << "cells are 2x2x2 here";
+  }
+}
+
+}  // namespace
+}  // namespace sthist

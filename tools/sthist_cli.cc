@@ -1,0 +1,333 @@
+// sthist command-line tool: generate datasets, run clustering, and run
+// initialized/uninitialized histogram experiments without writing C++.
+//
+//   sthist_cli generate --dataset sky --tuples 100000 --out sky.csv
+//   sthist_cli cluster --dataset gauss --alpha 0.02
+//   sthist_cli cluster --data my.csv --alpha 0.05 --beta 0.25 --width 0.05
+//   sthist_cli experiment --dataset cross --buckets 100 --init
+//   sthist_cli experiment --data my.csv --buckets 200 --train 1000 --sim 1000
+//   sthist_cli inspect --dataset cross --buckets 20 --train 100
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "clustering/clique.h"
+#include "clustering/clusterer.h"
+#include "clustering/doc.h"
+#include "clustering/mineclus.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "histogram/census.h"
+#include "histogram/stholes.h"
+#include "init/initializer.h"
+
+namespace {
+
+using namespace sthist;
+
+// ---------------------------------------------------------------------------
+// Tiny flag parser: --name value and boolean --name.
+// ---------------------------------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        ok_ = false;
+        return;
+      }
+      std::string name = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[name] = argv[++i];
+      } else {
+        values_[name] = "";  // Boolean flag.
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string Str(const std::string& name, const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double Num(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(),
+                                                        nullptr);
+  }
+
+  size_t Size(const std::string& name, size_t fallback) const {
+    return static_cast<size_t>(Num(name, static_cast<double>(fallback)));
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Dataset resolution: either a named generator or a CSV file.
+// ---------------------------------------------------------------------------
+
+std::optional<GeneratedData> ResolveDataset(const Flags& flags) {
+  if (flags.Has("data")) {
+    std::optional<Dataset> data = ReadCsv(flags.Str("data", ""));
+    if (!data.has_value()) {
+      std::fprintf(stderr, "failed to read CSV: %s\n",
+                   flags.Str("data", "").c_str());
+      return std::nullopt;
+    }
+    GeneratedData g{std::move(*data), Box(), {}};
+    g.domain = g.data.Bounds();
+    return g;
+  }
+
+  std::string name = flags.Str("dataset", "cross");
+  uint64_t seed = static_cast<uint64_t>(flags.Num("seed", 0));
+  if (name == "cross" || name == "crossnd") {
+    CrossConfig config;
+    config.dim = flags.Size("dim", 2);
+    config.tuples_per_cluster = flags.Size("tuples", 10000 * config.dim) /
+                                std::max<size_t>(config.dim, 1);
+    config.noise_tuples = config.tuples_per_cluster * config.dim / 10;
+    if (seed != 0) config.seed = seed;
+    return MakeCross(config);
+  }
+  if (name == "gauss") {
+    GaussConfig config;
+    config.dim = flags.Size("dim", 6);
+    config.cluster_tuples = flags.Size("tuples", 110000) * 10 / 11;
+    config.noise_tuples = flags.Size("tuples", 110000) / 11;
+    if (seed != 0) config.seed = seed;
+    return MakeGauss(config);
+  }
+  if (name == "sky") {
+    SkyConfig config;
+    config.tuples = flags.Size("tuples", 200000);
+    if (seed != 0) config.seed = seed;
+    return MakeSky(config);
+  }
+  if (name == "particle") {
+    ParticleConfig config;
+    size_t tuples = flags.Size("tuples", 100000);
+    config.cluster_tuples = tuples * 4 / 5;
+    config.noise_tuples = tuples / 5;
+    if (seed != 0) config.seed = seed;
+    return MakeParticle(config);
+  }
+  std::fprintf(stderr, "unknown dataset: %s (try cross, gauss, sky, "
+               "particle, or --data file.csv)\n",
+               name.c_str());
+  return std::nullopt;
+}
+
+MineClusConfig MineClusFromFlags(const Flags& flags) {
+  MineClusConfig config;
+  config.alpha = flags.Num("alpha", config.alpha);
+  config.beta = flags.Num("beta", config.beta);
+  config.width_fraction = flags.Num("width", config.width_fraction);
+  config.max_clusters = flags.Size("max-clusters", config.max_clusters);
+  return config;
+}
+
+// Builds the clusterer selected by --clusterer (mineclus | clique | doc).
+std::unique_ptr<SubspaceClusterer> ClustererFromFlags(const Flags& flags) {
+  std::string name = flags.Str("clusterer", "mineclus");
+  if (name == "mineclus") {
+    return std::make_unique<MineClusClusterer>(MineClusFromFlags(flags));
+  }
+  if (name == "clique") {
+    CliqueConfig config;
+    config.xi = flags.Size("xi", config.xi);
+    config.tau = flags.Num("tau", config.tau);
+    config.max_dims = flags.Size("max-dims", config.max_dims);
+    return std::make_unique<CliqueClusterer>(config);
+  }
+  if (name == "doc") {
+    DocConfig config;
+    config.alpha = flags.Num("alpha", config.alpha);
+    config.beta = flags.Num("beta", config.beta);
+    config.width_fraction = flags.Num("width", config.width_fraction);
+    return std::make_unique<DocClusterer>(config);
+  }
+  std::fprintf(stderr, "unknown clusterer: %s (try mineclus, clique, doc)\n",
+               name.c_str());
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+int RunGenerate(const Flags& flags) {
+  std::optional<GeneratedData> g = ResolveDataset(flags);
+  if (!g.has_value()) return 1;
+  std::string out = flags.Str("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate requires --out <file.csv>\n");
+    return 1;
+  }
+  if (!WriteCsv(g->data, out)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu tuples x %zu dims to %s\n", g->data.size(),
+              g->data.dim(), out.c_str());
+  return 0;
+}
+
+int RunCluster(const Flags& flags) {
+  std::optional<GeneratedData> g = ResolveDataset(flags);
+  if (!g.has_value()) return 1;
+  std::unique_ptr<SubspaceClusterer> clusterer = ClustererFromFlags(flags);
+  if (clusterer == nullptr) return 1;
+  std::vector<SubspaceCluster> clusters =
+      clusterer->Cluster(g->data, g->domain);
+  std::printf("clusterer: %s\n", clusterer->name().c_str());
+
+  TablePrinter table({"cluster", "relevant dims", "members", "score"});
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    std::string dims;
+    for (size_t d : clusters[i].relevant_dims) {
+      if (!dims.empty()) dims += ",";
+      dims += std::to_string(d);
+    }
+    table.AddRow({"C" + std::to_string(i), dims,
+                  FormatSize(clusters[i].members.size()),
+                  FormatDouble(clusters[i].score, 0)});
+  }
+  table.Print();
+  std::printf("%zu clusters over %zu tuples\n", clusters.size(),
+              g->data.size());
+  return 0;
+}
+
+int RunExperiment(const Flags& flags) {
+  std::optional<GeneratedData> g = ResolveDataset(flags);
+  if (!g.has_value()) return 1;
+  Experiment experiment(std::move(*g));
+
+  ExperimentConfig config;
+  config.buckets = flags.Size("buckets", 100);
+  config.train_queries = flags.Size("train", 400);
+  config.sim_queries = flags.Size("sim", 400);
+  config.volume_fraction = flags.Num("volume", 0.01);
+  config.initialize = flags.Has("init");
+  config.initializer.reversed = flags.Has("reversed");
+  config.learn_during_sim = !flags.Has("freeze");
+  config.mineclus = MineClusFromFlags(flags);
+  if (flags.Has("data-centers")) {
+    config.centers = CenterDistribution::kData;
+  }
+
+  ExperimentResult result = experiment.Run(config);
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"MAE", FormatDouble(result.mae, 3)});
+  table.AddRow({"trivial MAE", FormatDouble(result.trivial_mae, 3)});
+  table.AddRow({"NAE", FormatDouble(result.nae, 4)});
+  table.AddRow({"final buckets", FormatSize(result.final_buckets)});
+  table.AddRow({"subspace buckets", FormatSize(result.subspace_buckets)});
+  table.AddRow({"clusters found", FormatSize(result.clusters_found)});
+  table.AddRow({"clusters fed", FormatSize(result.clusters_fed)});
+  table.AddRow({"clustering s", FormatDouble(result.clustering_seconds, 2)});
+  table.AddRow({"train s", FormatDouble(result.train_seconds, 2)});
+  table.AddRow({"sim s", FormatDouble(result.sim_seconds, 2)});
+  table.Print();
+  return 0;
+}
+
+int RunInspect(const Flags& flags) {
+  std::optional<GeneratedData> g = ResolveDataset(flags);
+  if (!g.has_value()) return 1;
+  Experiment experiment(std::move(*g));
+
+  STHolesConfig hc;
+  hc.max_buckets = flags.Size("buckets", 20);
+  STHoles hist(experiment.domain(), experiment.total_tuples(), hc);
+
+  if (flags.Has("init")) {
+    InitializeHistogram(experiment.Clusters(MineClusFromFlags(flags)),
+                        experiment.domain(), experiment.executor(),
+                        InitializerConfig{}, &hist);
+  }
+  ExperimentConfig wc_config;
+  wc_config.train_queries = flags.Size("train", 100);
+  wc_config.sim_queries = 1;
+  wc_config.volume_fraction = flags.Num("volume", 0.01);
+  auto [train, sim] = experiment.MakeWorkloads(wc_config);
+  for (const Box& q : train) hist.Refine(q, experiment.executor());
+
+  std::fputs(FormatBucketTree(hist).c_str(), stdout);
+  CensusResult census = CensusSubspaceBuckets(hist);
+  std::printf("%zu buckets, %zu subspace\n", hist.bucket_count(),
+              census.subspace_buckets);
+  if (flags.Has("out")) {
+    std::string path = flags.Str("out", "");
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::string text = hist.Serialize();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("serialized histogram to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::fputs(
+      "usage: sthist_cli <command> [--flag value ...]\n"
+      "\n"
+      "commands:\n"
+      "  generate    write a synthetic dataset to CSV\n"
+      "              --dataset cross|gauss|sky|particle --tuples N --dim D\n"
+      "              --seed S --out file.csv\n"
+      "  cluster     run subspace clustering and print the clusters\n"
+      "              --dataset ...|--data file.csv\n"
+      "              --clusterer mineclus|clique|doc\n"
+      "              mineclus/doc: --alpha A --beta B --width W\n"
+      "              clique: --xi N --tau T --max-dims K\n"
+      "  experiment  train/simulate STHoles and report errors\n"
+      "              --buckets N --train N --sim N --volume F [--init]\n"
+      "              [--reversed] [--freeze] [--data-centers] + cluster "
+      "flags\n"
+      "  inspect     print the bucket tree after training\n"
+      "              --buckets N --train N [--init] [--out hist.txt]\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) {
+    PrintUsage();
+    return 1;
+  }
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "cluster") return RunCluster(flags);
+  if (command == "experiment") return RunExperiment(flags);
+  if (command == "inspect") return RunInspect(flags);
+  PrintUsage();
+  return 1;
+}
