@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_budget.dir/bench_ablation_budget.cc.o"
+  "CMakeFiles/bench_ablation_budget.dir/bench_ablation_budget.cc.o.d"
+  "CMakeFiles/bench_ablation_budget.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_budget.dir/bench_common.cc.o.d"
+  "bench_ablation_budget"
+  "bench_ablation_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_centers.dir/bench_ablation_centers.cc.o"
+  "CMakeFiles/bench_ablation_centers.dir/bench_ablation_centers.cc.o.d"
+  "CMakeFiles/bench_ablation_centers.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_centers.dir/bench_common.cc.o.d"
+  "bench_ablation_centers"
+  "bench_ablation_centers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_centers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_clusterer.dir/bench_ablation_clusterer.cc.o"
+  "CMakeFiles/bench_ablation_clusterer.dir/bench_ablation_clusterer.cc.o.d"
+  "CMakeFiles/bench_ablation_clusterer.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_clusterer.dir/bench_common.cc.o.d"
+  "bench_ablation_clusterer"
+  "bench_ablation_clusterer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clusterer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

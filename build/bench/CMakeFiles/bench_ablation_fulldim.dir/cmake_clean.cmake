@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fulldim.dir/bench_ablation_fulldim.cc.o"
+  "CMakeFiles/bench_ablation_fulldim.dir/bench_ablation_fulldim.cc.o.d"
+  "CMakeFiles/bench_ablation_fulldim.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_fulldim.dir/bench_common.cc.o.d"
+  "bench_ablation_fulldim"
+  "bench_ablation_fulldim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fulldim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mbr.dir/bench_ablation_mbr.cc.o"
+  "CMakeFiles/bench_ablation_mbr.dir/bench_ablation_mbr.cc.o.d"
+  "CMakeFiles/bench_ablation_mbr.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_mbr.dir/bench_common.cc.o.d"
+  "bench_ablation_mbr"
+  "bench_ablation_mbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_order.dir/bench_ablation_order.cc.o"
+  "CMakeFiles/bench_ablation_order.dir/bench_ablation_order.cc.o.d"
+  "CMakeFiles/bench_ablation_order.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_order.dir/bench_common.cc.o.d"
+  "bench_ablation_order"
+  "bench_ablation_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

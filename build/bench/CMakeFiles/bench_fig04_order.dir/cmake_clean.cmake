@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_order.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig04_order.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig04_order.dir/bench_fig04_order.cc.o"
+  "CMakeFiles/bench_fig04_order.dir/bench_fig04_order.cc.o.d"
+  "bench_fig04_order"
+  "bench_fig04_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

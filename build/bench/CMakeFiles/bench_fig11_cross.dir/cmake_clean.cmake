@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cross.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig11_cross.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig11_cross.dir/bench_fig11_cross.cc.o"
+  "CMakeFiles/bench_fig11_cross.dir/bench_fig11_cross.cc.o.d"
+  "bench_fig11_cross"
+  "bench_fig11_cross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_gauss.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig12_gauss.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig12_gauss.dir/bench_fig12_gauss.cc.o"
+  "CMakeFiles/bench_fig12_gauss.dir/bench_fig12_gauss.cc.o.d"
+  "bench_fig12_gauss"
+  "bench_fig12_gauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

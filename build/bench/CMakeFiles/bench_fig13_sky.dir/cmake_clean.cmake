@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_sky.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig13_sky.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig13_sky.dir/bench_fig13_sky.cc.o"
+  "CMakeFiles/bench_fig13_sky.dir/bench_fig13_sky.cc.o.d"
+  "bench_fig13_sky"
+  "bench_fig13_sky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_sky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

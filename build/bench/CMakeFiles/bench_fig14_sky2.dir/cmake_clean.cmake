@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_sky2.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig14_sky2.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig14_sky2.dir/bench_fig14_sky2.cc.o"
+  "CMakeFiles/bench_fig14_sky2.dir/bench_fig14_sky2.cc.o.d"
+  "bench_fig14_sky2"
+  "bench_fig14_sky2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_sky2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

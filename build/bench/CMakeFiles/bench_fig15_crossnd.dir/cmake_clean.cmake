@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_crossnd.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig15_crossnd.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig15_crossnd.dir/bench_fig15_crossnd.cc.o"
+  "CMakeFiles/bench_fig15_crossnd.dir/bench_fig15_crossnd.cc.o.d"
+  "bench_fig15_crossnd"
+  "bench_fig15_crossnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_crossnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

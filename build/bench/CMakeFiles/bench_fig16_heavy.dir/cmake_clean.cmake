@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_heavy.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig16_heavy.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig16_heavy.dir/bench_fig16_heavy.cc.o"
+  "CMakeFiles/bench_fig16_heavy.dir/bench_fig16_heavy.cc.o.d"
+  "bench_fig16_heavy"
+  "bench_fig16_heavy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_heavy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_training.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig17_training.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig17_training.dir/bench_fig17_training.cc.o"
+  "CMakeFiles/bench_fig17_training.dir/bench_fig17_training.cc.o.d"
+  "bench_fig17_training"
+  "bench_fig17_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

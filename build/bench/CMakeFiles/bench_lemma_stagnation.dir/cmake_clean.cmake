@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma_stagnation.dir/bench_common.cc.o"
+  "CMakeFiles/bench_lemma_stagnation.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_lemma_stagnation.dir/bench_lemma_stagnation.cc.o"
+  "CMakeFiles/bench_lemma_stagnation.dir/bench_lemma_stagnation.cc.o.d"
+  "bench_lemma_stagnation"
+  "bench_lemma_stagnation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma_stagnation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

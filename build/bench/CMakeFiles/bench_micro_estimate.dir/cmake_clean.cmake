@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_estimate.dir/bench_micro_estimate.cc.o"
+  "CMakeFiles/bench_micro_estimate.dir/bench_micro_estimate.cc.o.d"
+  "bench_micro_estimate"
+  "bench_micro_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

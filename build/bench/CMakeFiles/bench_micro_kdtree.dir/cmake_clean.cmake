@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_kdtree.dir/bench_micro_kdtree.cc.o"
+  "CMakeFiles/bench_micro_kdtree.dir/bench_micro_kdtree.cc.o.d"
+  "bench_micro_kdtree"
+  "bench_micro_kdtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_kdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

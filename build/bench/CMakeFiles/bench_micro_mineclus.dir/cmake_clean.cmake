@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_mineclus.dir/bench_micro_mineclus.cc.o"
+  "CMakeFiles/bench_micro_mineclus.dir/bench_micro_mineclus.cc.o.d"
+  "bench_micro_mineclus"
+  "bench_micro_mineclus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_mineclus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

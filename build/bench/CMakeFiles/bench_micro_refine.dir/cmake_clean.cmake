@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_refine.dir/bench_micro_refine.cc.o"
+  "CMakeFiles/bench_micro_refine.dir/bench_micro_refine.cc.o.d"
+  "bench_micro_refine"
+  "bench_micro_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_particle.dir/bench_common.cc.o"
+  "CMakeFiles/bench_particle.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_particle.dir/bench_particle.cc.o"
+  "CMakeFiles/bench_particle.dir/bench_particle.cc.o.d"
+  "bench_particle"
+  "bench_particle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_particle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

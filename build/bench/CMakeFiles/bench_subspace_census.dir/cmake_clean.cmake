@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subspace_census.dir/bench_common.cc.o"
+  "CMakeFiles/bench_subspace_census.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_subspace_census.dir/bench_subspace_census.cc.o"
+  "CMakeFiles/bench_subspace_census.dir/bench_subspace_census.cc.o.d"
+  "bench_subspace_census"
+  "bench_subspace_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subspace_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

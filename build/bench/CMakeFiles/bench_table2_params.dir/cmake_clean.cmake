@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_params.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table2_params.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table2_params.dir/bench_table2_params.cc.o"
+  "CMakeFiles/bench_table2_params.dir/bench_table2_params.cc.o.d"
+  "bench_table2_params"
+  "bench_table2_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_clusters.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table4_clusters.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table4_clusters.dir/bench_table4_clusters.cc.o"
+  "CMakeFiles/bench_table4_clusters.dir/bench_table4_clusters.cc.o.d"
+  "bench_table4_clusters"
+  "bench_table4_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

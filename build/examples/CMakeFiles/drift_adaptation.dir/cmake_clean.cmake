@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_adaptation.dir/drift_adaptation.cc.o"
+  "CMakeFiles/drift_adaptation.dir/drift_adaptation.cc.o.d"
+  "drift_adaptation"
+  "drift_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_sensitivity.dir/order_sensitivity.cc.o"
+  "CMakeFiles/order_sensitivity.dir/order_sensitivity.cc.o.d"
+  "order_sensitivity"
+  "order_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/clique.cc" "src/CMakeFiles/sthist.dir/clustering/clique.cc.o" "gcc" "src/CMakeFiles/sthist.dir/clustering/clique.cc.o.d"
+  "/root/repo/src/clustering/doc.cc" "src/CMakeFiles/sthist.dir/clustering/doc.cc.o" "gcc" "src/CMakeFiles/sthist.dir/clustering/doc.cc.o.d"
+  "/root/repo/src/clustering/fptree.cc" "src/CMakeFiles/sthist.dir/clustering/fptree.cc.o" "gcc" "src/CMakeFiles/sthist.dir/clustering/fptree.cc.o.d"
+  "/root/repo/src/clustering/mineclus.cc" "src/CMakeFiles/sthist.dir/clustering/mineclus.cc.o" "gcc" "src/CMakeFiles/sthist.dir/clustering/mineclus.cc.o.d"
+  "/root/repo/src/core/box.cc" "src/CMakeFiles/sthist.dir/core/box.cc.o" "gcc" "src/CMakeFiles/sthist.dir/core/box.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/CMakeFiles/sthist.dir/core/rng.cc.o" "gcc" "src/CMakeFiles/sthist.dir/core/rng.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/sthist.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/sthist.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/sthist.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/sthist.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/sthist.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/sthist.dir/data/generators.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/sthist.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/sthist.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/runner.cc" "src/CMakeFiles/sthist.dir/eval/runner.cc.o" "gcc" "src/CMakeFiles/sthist.dir/eval/runner.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/CMakeFiles/sthist.dir/eval/table.cc.o" "gcc" "src/CMakeFiles/sthist.dir/eval/table.cc.o.d"
+  "/root/repo/src/histogram/avi.cc" "src/CMakeFiles/sthist.dir/histogram/avi.cc.o" "gcc" "src/CMakeFiles/sthist.dir/histogram/avi.cc.o.d"
+  "/root/repo/src/histogram/census.cc" "src/CMakeFiles/sthist.dir/histogram/census.cc.o" "gcc" "src/CMakeFiles/sthist.dir/histogram/census.cc.o.d"
+  "/root/repo/src/histogram/equiwidth.cc" "src/CMakeFiles/sthist.dir/histogram/equiwidth.cc.o" "gcc" "src/CMakeFiles/sthist.dir/histogram/equiwidth.cc.o.d"
+  "/root/repo/src/histogram/isomer.cc" "src/CMakeFiles/sthist.dir/histogram/isomer.cc.o" "gcc" "src/CMakeFiles/sthist.dir/histogram/isomer.cc.o.d"
+  "/root/repo/src/histogram/mhist.cc" "src/CMakeFiles/sthist.dir/histogram/mhist.cc.o" "gcc" "src/CMakeFiles/sthist.dir/histogram/mhist.cc.o.d"
+  "/root/repo/src/histogram/sampling.cc" "src/CMakeFiles/sthist.dir/histogram/sampling.cc.o" "gcc" "src/CMakeFiles/sthist.dir/histogram/sampling.cc.o.d"
+  "/root/repo/src/histogram/stgrid.cc" "src/CMakeFiles/sthist.dir/histogram/stgrid.cc.o" "gcc" "src/CMakeFiles/sthist.dir/histogram/stgrid.cc.o.d"
+  "/root/repo/src/histogram/stholes.cc" "src/CMakeFiles/sthist.dir/histogram/stholes.cc.o" "gcc" "src/CMakeFiles/sthist.dir/histogram/stholes.cc.o.d"
+  "/root/repo/src/histogram/trivial.cc" "src/CMakeFiles/sthist.dir/histogram/trivial.cc.o" "gcc" "src/CMakeFiles/sthist.dir/histogram/trivial.cc.o.d"
+  "/root/repo/src/index/kdtree.cc" "src/CMakeFiles/sthist.dir/index/kdtree.cc.o" "gcc" "src/CMakeFiles/sthist.dir/index/kdtree.cc.o.d"
+  "/root/repo/src/init/initializer.cc" "src/CMakeFiles/sthist.dir/init/initializer.cc.o" "gcc" "src/CMakeFiles/sthist.dir/init/initializer.cc.o.d"
+  "/root/repo/src/workload/query.cc" "src/CMakeFiles/sthist.dir/workload/query.cc.o" "gcc" "src/CMakeFiles/sthist.dir/workload/query.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/sthist.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/sthist.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/box_test.dir/box_test.cc.o"
+  "CMakeFiles/box_test.dir/box_test.cc.o.d"
+  "box_test"
+  "box_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/box_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for box_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_test.dir/census_test.cc.o"
+  "CMakeFiles/census_test.dir/census_test.cc.o.d"
+  "census_test"
+  "census_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

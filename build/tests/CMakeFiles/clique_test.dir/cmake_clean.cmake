@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clique_test.dir/clique_test.cc.o"
+  "CMakeFiles/clique_test.dir/clique_test.cc.o.d"
+  "clique_test"
+  "clique_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clique_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_test.dir/doc_test.cc.o"
+  "CMakeFiles/doc_test.dir/doc_test.cc.o.d"
+  "doc_test"
+  "doc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

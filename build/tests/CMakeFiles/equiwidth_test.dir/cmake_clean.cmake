@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equiwidth_test.dir/equiwidth_test.cc.o"
+  "CMakeFiles/equiwidth_test.dir/equiwidth_test.cc.o.d"
+  "equiwidth_test"
+  "equiwidth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equiwidth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/initializer_test.dir/initializer_test.cc.o"
+  "CMakeFiles/initializer_test.dir/initializer_test.cc.o.d"
+  "initializer_test"
+  "initializer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/initializer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isomer_test.dir/isomer_test.cc.o"
+  "CMakeFiles/isomer_test.dir/isomer_test.cc.o.d"
+  "isomer_test"
+  "isomer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isomer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mineclus_test.dir/mineclus_test.cc.o"
+  "CMakeFiles/mineclus_test.dir/mineclus_test.cc.o.d"
+  "mineclus_test"
+  "mineclus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mineclus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

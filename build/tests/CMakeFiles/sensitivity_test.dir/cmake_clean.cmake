@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_test.dir/sensitivity_test.cc.o"
+  "CMakeFiles/sensitivity_test.dir/sensitivity_test.cc.o.d"
+  "sensitivity_test"
+  "sensitivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

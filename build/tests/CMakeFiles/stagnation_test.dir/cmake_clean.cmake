@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagnation_test.dir/stagnation_test.cc.o"
+  "CMakeFiles/stagnation_test.dir/stagnation_test.cc.o.d"
+  "stagnation_test"
+  "stagnation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagnation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

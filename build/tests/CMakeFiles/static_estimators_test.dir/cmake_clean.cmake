@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_estimators_test.dir/static_estimators_test.cc.o"
+  "CMakeFiles/static_estimators_test.dir/static_estimators_test.cc.o.d"
+  "static_estimators_test"
+  "static_estimators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_estimators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgrid_test.dir/stgrid_test.cc.o"
+  "CMakeFiles/stgrid_test.dir/stgrid_test.cc.o.d"
+  "stgrid_test"
+  "stgrid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stholes_property_test.dir/stholes_property_test.cc.o"
+  "CMakeFiles/stholes_property_test.dir/stholes_property_test.cc.o.d"
+  "stholes_property_test"
+  "stholes_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stholes_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

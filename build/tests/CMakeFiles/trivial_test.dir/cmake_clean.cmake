@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trivial_test.dir/trivial_test.cc.o"
+  "CMakeFiles/trivial_test.dir/trivial_test.cc.o.d"
+  "trivial_test"
+  "trivial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trivial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sthist_cli.dir/sthist_cli.cc.o"
+  "CMakeFiles/sthist_cli.dir/sthist_cli.cc.o.d"
+  "sthist_cli"
+  "sthist_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sthist_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
