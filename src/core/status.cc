@@ -1,0 +1,38 @@
+#include "core/status.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace sthist {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return std::string(StatusCodeName(code_)) + ": " + message_;
+}
+
+Status StatusF(StatusCode code, const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return Status(code, buf);
+}
+
+}  // namespace sthist

@@ -1,5 +1,6 @@
 #include "data/csv.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -9,29 +10,52 @@ namespace sthist {
 
 namespace {
 
-// Splits a CSV line on commas and parses each field as a double. Returns
-// false when any field fails to parse.
-bool ParseLine(const std::string& line, std::vector<double>* out) {
+/// Per-field outcome of parsing one CSV line.
+enum class LineError {
+  kNone,
+  kEmpty,        // No fields at all.
+  kNotNumeric,   // A field failed to parse as a double.
+  kNotFinite,    // A field parsed to NaN or infinity.
+};
+
+// Splits a CSV line on commas and parses each field as a finite double. On
+// failure reports which (1-based) column broke and why.
+LineError ParseLine(const std::string& line, std::vector<double>* out,
+                    size_t* bad_column) {
   out->clear();
   std::stringstream stream(line);
   std::string field;
+  size_t column = 0;
   while (std::getline(stream, field, ',')) {
+    ++column;
     char* end = nullptr;
     double value = std::strtod(field.c_str(), &end);
-    if (end == field.c_str()) return false;
+    if (end == field.c_str()) {
+      *bad_column = column;
+      return LineError::kNotNumeric;
+    }
     // Allow trailing whitespace only.
     while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
-    if (*end != '\0') return false;
+    if (*end != '\0') {
+      *bad_column = column;
+      return LineError::kNotNumeric;
+    }
+    if (!std::isfinite(value)) {
+      *bad_column = column;
+      return LineError::kNotFinite;
+    }
     out->push_back(value);
   }
-  return !out->empty();
+  return out->empty() ? LineError::kEmpty : LineError::kNone;
 }
 
 }  // namespace
 
-bool WriteCsv(const Dataset& data, const std::string& path) {
+Status WriteCsv(const Dataset& data, const std::string& path) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
   for (size_t i = 0; i < data.size(); ++i) {
     std::span<const double> p = data.row(i);
     for (size_t d = 0; d < p.size(); ++d) {
@@ -42,36 +66,55 @@ bool WriteCsv(const Dataset& data, const std::string& path) {
     }
     out << '\n';
   }
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    return Status::IoError("write to " + path + " failed");
+  }
+  return Status::Ok();
 }
 
-std::optional<Dataset> ReadCsv(const std::string& path) {
+StatusOr<Dataset> ReadCsv(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
 
   std::string line;
   std::vector<double> fields;
   std::optional<Dataset> data;
+  size_t line_number = 0;
   bool first_line = true;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (!ParseLine(line, &fields)) {
-      if (first_line) {
-        first_line = false;  // Tolerate a header row.
-        continue;
-      }
-      return std::nullopt;
+    ++line_number;
+    if (line.empty() || line == "\r") continue;
+    size_t bad_column = 0;
+    LineError error = ParseLine(line, &fields, &bad_column);
+    if (error == LineError::kNotNumeric && first_line) {
+      first_line = false;  // Tolerate a header row.
+      continue;
+    }
+    if (error != LineError::kNone) {
+      const char* reason =
+          error == LineError::kNotFinite ? "non-finite value" :
+          error == LineError::kEmpty ? "no fields" : "non-numeric field";
+      return StatusF(StatusCode::kInvalidArgument,
+                     "%s: line %zu, column %zu: %s", path.c_str(), line_number,
+                     bad_column, reason);
     }
     first_line = false;
     if (!data.has_value()) {
       data.emplace(fields.size());
     } else if (fields.size() != data->dim()) {
-      return std::nullopt;
+      return StatusF(StatusCode::kInvalidArgument,
+                     "%s: line %zu: expected %zu fields, got %zu",
+                     path.c_str(), line_number, data->dim(), fields.size());
     }
     data->Append(fields);
   }
-  if (!data.has_value()) return std::nullopt;
-  return data;
+  if (!data.has_value()) {
+    return Status::InvalidArgument(path + ": no data rows");
+  }
+  return *std::move(data);
 }
 
 }  // namespace sthist

@@ -1,21 +1,24 @@
 #ifndef STHIST_DATA_CSV_H_
 #define STHIST_DATA_CSV_H_
 
-#include <optional>
 #include <string>
 
+#include "core/status.h"
 #include "data/dataset.h"
 
 namespace sthist {
 
 /// Writes `data` to `path` as comma-separated values, one tuple per line.
-/// Returns false on I/O failure.
-bool WriteCsv(const Dataset& data, const std::string& path);
+/// Returns an IO_ERROR status naming the path on failure.
+Status WriteCsv(const Dataset& data, const std::string& path);
 
 /// Reads a CSV file of numeric values into a Dataset. All rows must have the
 /// same number of fields; a leading header line of non-numeric fields is
-/// skipped. Returns std::nullopt on I/O failure or malformed input.
-std::optional<Dataset> ReadCsv(const std::string& path);
+/// skipped. Non-finite literals (nan, inf) are rejected — datasets are
+/// untrusted input and every downstream consumer assumes finite coordinates.
+/// On failure returns a Status naming the offending line (1-based) and
+/// column where applicable.
+StatusOr<Dataset> ReadCsv(const std::string& path);
 
 }  // namespace sthist
 

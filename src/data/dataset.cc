@@ -1,6 +1,7 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "core/check.h"
@@ -12,6 +13,35 @@ Dataset::Dataset(size_t dim) : dim_(dim) { STHIST_CHECK(dim > 0); }
 void Dataset::Append(std::span<const double> p) {
   STHIST_CHECK(p.size() == dim_);
   values_.insert(values_.end(), p.begin(), p.end());
+}
+
+Status Dataset::AppendChecked(std::span<const double> p) {
+  if (p.size() != dim_) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "tuple has %zu attributes, dataset has %zu", p.size(),
+                   dim_);
+  }
+  for (size_t d = 0; d < p.size(); ++d) {
+    if (!std::isfinite(p[d])) {
+      return StatusF(StatusCode::kInvalidArgument,
+                     "attribute %zu is non-finite", d);
+    }
+  }
+  Append(p);
+  return Status::Ok();
+}
+
+Status Dataset::Validate() const {
+  for (size_t i = 0; i < size(); ++i) {
+    std::span<const double> p = row(i);
+    for (size_t d = 0; d < dim_; ++d) {
+      if (!std::isfinite(p[d])) {
+        return StatusF(StatusCode::kInvalidArgument,
+                       "tuple %zu, attribute %zu is non-finite", i, d);
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 void Dataset::Reserve(size_t n) { values_.reserve(n * dim_); }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/box.h"
+#include "core/status.h"
 
 namespace sthist {
 
@@ -36,6 +37,15 @@ class Dataset {
 
   /// Appends one tuple. Requires p.size() == dim().
   void Append(std::span<const double> p);
+
+  /// Appends one tuple from untrusted input: rejects wrong arity and
+  /// non-finite values with a reason instead of aborting.
+  Status AppendChecked(std::span<const double> p);
+
+  /// Scans for non-finite values — the one corruption every downstream
+  /// consumer (bounds, k-d tree, clustering) silently mis-handles. Returns
+  /// INVALID_ARGUMENT naming the first offending tuple and attribute.
+  Status Validate() const;
 
   /// Reserves storage for `n` tuples.
   void Reserve(size_t n);

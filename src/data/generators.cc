@@ -254,4 +254,101 @@ GeneratedData MakeParticle(const ParticleConfig& config) {
   return MakeGauss(gauss);
 }
 
+namespace {
+
+// Domain bounds shared by Cross/Gauss/Particle configs.
+Status ValidateDomain(double lo, double hi) {
+  if (!std::isfinite(lo) || !std::isfinite(hi)) {
+    return Status::InvalidArgument("domain bounds must be finite");
+  }
+  if (lo >= hi) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "domain is empty: lo=%g >= hi=%g", lo, hi);
+  }
+  return Status::Ok();
+}
+
+Status ValidateSubspaceDims(size_t dim, size_t min_dims, size_t max_dims) {
+  if (min_dims < 1) {
+    return Status::InvalidArgument("min_subspace_dims must be >= 1");
+  }
+  if (max_dims > dim) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "max_subspace_dims=%zu exceeds dim=%zu", max_dims, dim);
+  }
+  if (min_dims > max_dims) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "min_subspace_dims=%zu > max_subspace_dims=%zu", min_dims,
+                   max_dims);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Validate(const CrossConfig& config) {
+  if (config.dim < 2) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "cross needs dim >= 2, got %zu", config.dim);
+  }
+  STHIST_RETURN_IF_ERROR(ValidateDomain(config.domain_lo, config.domain_hi));
+  if (!std::isfinite(config.band_halfwidth) || config.band_halfwidth <= 0.0) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "band_halfwidth must be positive and finite, got %g",
+                   config.band_halfwidth);
+  }
+  const double center = 0.5 * (config.domain_lo + config.domain_hi);
+  if (center - config.band_halfwidth < config.domain_lo ||
+      center + config.band_halfwidth > config.domain_hi) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "band_halfwidth=%g does not fit inside the domain [%g,%g]",
+                   config.band_halfwidth, config.domain_lo, config.domain_hi);
+  }
+  return Status::Ok();
+}
+
+Status Validate(const GaussConfig& config) {
+  if (config.dim < 2) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "gauss needs dim >= 2, got %zu", config.dim);
+  }
+  if (config.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be > 0");
+  }
+  STHIST_RETURN_IF_ERROR(ValidateDomain(config.domain_lo, config.domain_hi));
+  STHIST_RETURN_IF_ERROR(ValidateSubspaceDims(
+      config.dim, config.min_subspace_dims, config.max_subspace_dims));
+  if (!std::isfinite(config.sigma_fraction) || config.sigma_fraction <= 0.0) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "sigma_fraction must be positive and finite, got %g",
+                   config.sigma_fraction);
+  }
+  return Status::Ok();
+}
+
+Status Validate(const SkyConfig& config) {
+  if (config.tuples == 0) {
+    return Status::InvalidArgument("sky needs tuples > 0");
+  }
+  if (!std::isfinite(config.noise_fraction) || config.noise_fraction < 0.0 ||
+      config.noise_fraction >= 1.0) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "noise_fraction must be in [0,1), got %g",
+                   config.noise_fraction);
+  }
+  return Status::Ok();
+}
+
+Status Validate(const ParticleConfig& config) {
+  GaussConfig gauss;
+  gauss.dim = config.dim;
+  gauss.num_clusters = config.num_clusters;
+  gauss.min_subspace_dims = config.min_subspace_dims;
+  gauss.max_subspace_dims = config.max_subspace_dims;
+  gauss.sigma_fraction = config.sigma_fraction;
+  gauss.domain_lo = config.domain_lo;
+  gauss.domain_hi = config.domain_hi;
+  return Validate(gauss);
+}
+
 }  // namespace sthist

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/box.h"
+#include "core/status.h"
 #include "data/dataset.h"
 
 namespace sthist {
@@ -107,6 +108,14 @@ struct ParticleConfig {
 
 /// Generates the synthetic particle-physics dataset.
 GeneratedData MakeParticle(const ParticleConfig& config);
+
+/// Validation of generator parameters arriving from untrusted sources (CLI
+/// flags, config files): each returns INVALID_ARGUMENT with a reason for the
+/// combinations that would otherwise trip the generators' internal CHECKs.
+Status Validate(const CrossConfig& config);
+Status Validate(const GaussConfig& config);
+Status Validate(const SkyConfig& config);
+Status Validate(const ParticleConfig& config);
 
 }  // namespace sthist
 

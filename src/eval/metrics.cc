@@ -19,12 +19,19 @@ double MeanAbsoluteError(const Histogram& hist, const Workload& workload,
 
 double SimulateAndMeasure(Histogram* hist, const Workload& workload,
                           const CardinalityOracle& oracle, bool learn) {
+  return SimulateAndMeasure(hist, workload, oracle, oracle, learn);
+}
+
+double SimulateAndMeasure(Histogram* hist, const Workload& workload,
+                          const CardinalityOracle& measure_oracle,
+                          const CardinalityOracle& feedback_oracle,
+                          bool learn) {
   STHIST_CHECK(hist != nullptr);
   STHIST_CHECK(!workload.empty());
   double total = 0.0;
   for (const Box& q : workload) {
-    total += std::abs(hist->Estimate(q) - oracle.Count(q));
-    if (learn) hist->Refine(q, oracle);
+    total += std::abs(hist->Estimate(q) - measure_oracle.Count(q));
+    if (learn) hist->Refine(q, feedback_oracle);
   }
   return total / static_cast<double>(workload.size());
 }

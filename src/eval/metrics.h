@@ -19,6 +19,15 @@ double MeanAbsoluteError(const Histogram& hist, const Workload& workload,
 double SimulateAndMeasure(Histogram* hist, const Workload& workload,
                           const CardinalityOracle& oracle, bool learn);
 
+/// Variant with distinct oracles for measurement and refinement feedback.
+/// Fault-injection runs measure true accuracy against `measure_oracle`
+/// (the real engine) while the histogram learns from the possibly-corrupted
+/// `feedback_oracle`.
+double SimulateAndMeasure(Histogram* hist, const Workload& workload,
+                          const CardinalityOracle& measure_oracle,
+                          const CardinalityOracle& feedback_oracle,
+                          bool learn);
+
 /// Trains the histogram on the workload (refinement only, no measurement).
 void Train(Histogram* hist, const Workload& workload,
            const CardinalityOracle& oracle);

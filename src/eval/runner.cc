@@ -1,6 +1,7 @@
 #include "eval/runner.h"
 
 #include <chrono>
+#include <optional>
 
 #include "core/check.h"
 #include "eval/metrics.h"
@@ -91,13 +92,28 @@ ExperimentResult Experiment::RunWithWorkloads(const ExperimentConfig& config,
         clusters, generated_.domain, executor_, config.initializer, &hist);
   }
 
+  // With fault injection on, train on corrupted query boxes and learn from
+  // a corrupted feedback oracle; measurement below stays against the true
+  // executor on the clean simulation workload.
+  const bool inject = config.faults.rate > 0.0;
+  Workload faulty_train;
+  std::optional<FaultyOracle> faulty_oracle;
+  if (inject) {
+    faulty_train = CorruptWorkload(train, generated_.domain, config.faults);
+    faulty_oracle.emplace(executor_, config.faults);
+  }
+  const Workload& train_used = inject ? faulty_train : train;
+  const CardinalityOracle& feedback =
+      inject ? static_cast<const CardinalityOracle&>(*faulty_oracle)
+             : static_cast<const CardinalityOracle&>(executor_);
+
   auto train_start = std::chrono::steady_clock::now();
-  if (!train.empty()) Train(&hist, train, executor_);
+  if (!train_used.empty()) Train(&hist, train_used, feedback);
   result.train_seconds = SecondsSince(train_start);
 
   auto sim_start = std::chrono::steady_clock::now();
-  result.mae =
-      SimulateAndMeasure(&hist, sim, executor_, config.learn_during_sim);
+  result.mae = SimulateAndMeasure(&hist, sim, executor_, feedback,
+                                  config.learn_during_sim);
   result.sim_seconds = SecondsSince(sim_start);
 
   TrivialHistogram trivial(generated_.domain, total_tuples());
@@ -107,6 +123,10 @@ ExperimentResult Experiment::RunWithWorkloads(const ExperimentConfig& config,
 
   result.final_buckets = hist.bucket_count();
   result.subspace_buckets = CensusSubspaceBuckets(hist).subspace_buckets;
+  result.robustness = hist.robustness();
+  if (faulty_oracle.has_value()) {
+    result.faults_injected = faulty_oracle->faults_injected();
+  }
   return result;
 }
 

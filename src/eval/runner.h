@@ -8,6 +8,7 @@
 #include "data/generators.h"
 #include "histogram/stholes.h"
 #include "init/initializer.h"
+#include "testing/fault_injection.h"
 #include "workload/query.h"
 #include "workload/workload.h"
 
@@ -36,6 +37,13 @@ struct ExperimentConfig {
   /// The paper's default keeps refining during simulation; Fig. 17 turns
   /// this off to isolate the effect of training volume.
   bool learn_during_sim = true;
+
+  /// Fault injection (testing/fault_injection.h); rate 0 disables. When
+  /// enabled, the training workload's query boxes and the refinement
+  /// feedback oracle are adversarially corrupted, while accuracy is still
+  /// measured against the true engine over the clean simulation workload —
+  /// so the resulting NAE quantifies robustness, not measurement noise.
+  FaultConfig faults;
 };
 
 /// Measured outcome of one experiment cell.
@@ -50,6 +58,12 @@ struct ExperimentResult {
   double clustering_seconds = 0.0;
   double train_seconds = 0.0;
   double sim_seconds = 0.0;
+  /// Degradation counters the histogram accumulated (all zero on clean
+  /// runs with well-formed workloads).
+  RobustnessStats robustness;
+  /// Corrupted oracle answers actually served during the run (0 when fault
+  /// injection is disabled).
+  size_t faults_injected = 0;
 };
 
 /// Shared state for a family of experiment cells over one dataset: owns the

@@ -21,6 +21,38 @@ class CardinalityOracle {
   virtual double Count(const Box& box) const = 0;
 };
 
+/// Counters of graceful-degradation events in a self-tuning histogram's
+/// feedback loop. Untrusted feedback (an external engine's cardinalities, a
+/// client's query boxes) is repaired or skipped instead of aborting; these
+/// counters make that degradation observable from the runner and the CLI.
+struct RobustnessStats {
+  /// Feedback queries dropped entirely (non-finite bounds, dimension
+  /// mismatch, zero volume inside the domain).
+  size_t rejected_queries = 0;
+  /// Feedback queries repaired before use (inverted intervals swapped,
+  /// out-of-domain boxes clamped).
+  size_t sanitized_queries = 0;
+  /// Cardinalities repaired before use (non-finite or negative counts).
+  size_t clamped_feedback = 0;
+  /// Buckets whose state was fixed up after pathological arithmetic
+  /// (non-finite frequencies reset).
+  size_t repaired_buckets = 0;
+
+  /// Sum of all counters — nonzero means the histogram degraded somewhere.
+  size_t total() const {
+    return rejected_queries + sanitized_queries + clamped_feedback +
+           repaired_buckets;
+  }
+
+  /// Accumulates `other` into this.
+  void Add(const RobustnessStats& other) {
+    rejected_queries += other.rejected_queries;
+    sanitized_queries += other.sanitized_queries;
+    clamped_feedback += other.clamped_feedback;
+    repaired_buckets += other.repaired_buckets;
+  }
+};
+
 /// A selectivity-estimation histogram over one relation.
 class Histogram {
  public:
@@ -37,6 +69,10 @@ class Histogram {
 
   /// Number of buckets currently held.
   virtual size_t bucket_count() const = 0;
+
+  /// Degradation counters accumulated since construction. Static estimators
+  /// never degrade and report all-zero.
+  virtual RobustnessStats robustness() const { return {}; }
 };
 
 }  // namespace sthist

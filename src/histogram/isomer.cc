@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/check.h"
+#include "histogram/robustness.h"
 
 namespace sthist {
 
@@ -57,7 +58,10 @@ double IsomerHistogram::RegionIntersectionVolume(const Bucket& b,
 }
 
 double IsomerHistogram::Estimate(const Box& query) const {
-  STHIST_CHECK(query.dim() == root_->box.dim());
+  if (!IsEstimableQuery(root_->box, query)) {
+    ++stats_.rejected_queries;
+    return 0.0;
+  }
   return EstimateNode(*root_, query);
 }
 
@@ -196,6 +200,10 @@ void IsomerHistogram::DrillHole(Bucket* b, const Box& candidate,
   // iterative scaling then reconciles the whole tree with every retained
   // constraint.
   hole->frequency = std::max(oracle.Count(candidate) - moved_mass, 0.0);
+  if (!std::isfinite(hole->frequency)) {
+    ++stats_.repaired_buckets;
+    hole->frequency = 0.0;
+  }
   b->frequency = std::max(b->frequency - hole->frequency, 0.0);
   b->children.push_back(std::move(hole));
   ++bucket_count_;
@@ -282,13 +290,22 @@ double IsomerHistogram::MaxConstraintViolation() const {
 
 void IsomerHistogram::Refine(const Box& query,
                              const CardinalityOracle& oracle) {
-  STHIST_CHECK(query.dim() == root_->box.dim());
-  Box q = root_->box.Intersection(query);
-  if (q.Volume() <= MinVolume()) return;
+  // Query boxes and oracle counts are untrusted: repair what is repairable,
+  // drop what is not, and never abort.
+  std::optional<Box> sanitized =
+      SanitizeFeedbackQuery(root_->box, query, &stats_);
+  if (!sanitized.has_value()) return;
+  Box q = std::move(*sanitized);
+  if (q.Volume() <= MinVolume()) {
+    ++stats_.rejected_queries;
+    return;
+  }
+  SanitizingOracle safe(oracle, &stats_);
 
   // Record the feedback constraint (sliding window; the permanent relation
-  // cardinality constraint at the front never ages out).
-  double count = oracle.Count(q);
+  // cardinality constraint at the front never ages out). The sanitized count
+  // is finite and non-negative, so the scaling passes stay well-defined.
+  double count = safe.Count(q);
   constraints_.push_back({q, count});
   while (constraints_.size() > config_.max_constraints) {
     constraints_.erase(constraints_.begin() + 1);
@@ -300,7 +317,7 @@ void IsomerHistogram::Refine(const Box& query,
   for (Bucket* b : intersecting) {
     Box candidate = ShrinkCandidate(*b, q);
     if (candidate.Volume() <= MinVolume()) continue;
-    DrillHole(b, candidate, oracle);
+    DrillHole(b, candidate, safe);
   }
 
   EnforceBudget();

@@ -57,11 +57,20 @@ class IsomerHistogram : public Histogram {
   IsomerHistogram& operator=(const IsomerHistogram&) = delete;
   ~IsomerHistogram() override;
 
+  /// Estimated cardinality of `query`. Malformed queries estimate to 0 and
+  /// bump the robustness counters instead of aborting.
   double Estimate(const Box& query) const override;
 
   /// Records the query's true cardinality as a constraint, drills structure
   /// for it, and re-solves the frequencies by iterative scaling.
+  ///
+  /// Untrusted feedback degrades gracefully: unusable query boxes are
+  /// dropped, repairable ones sanitized, and non-finite or negative counts
+  /// clamped before they become constraints — each bumping robustness().
   void Refine(const Box& query, const CardinalityOracle& oracle) override;
+
+  /// Degradation counters accumulated since construction.
+  RobustnessStats robustness() const override { return stats_; }
 
   size_t bucket_count() const override;
 
@@ -114,6 +123,8 @@ class IsomerHistogram : public Histogram {
   size_t bucket_count_ = 0;  // Including root.
   std::deque<Constraint> constraints_;
   double total_tuples_;
+  // Mutable so the const Estimate path can record rejected queries.
+  mutable RobustnessStats stats_;
 };
 
 }  // namespace sthist

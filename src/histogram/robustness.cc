@@ -1,0 +1,60 @@
+#include "histogram/robustness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sthist {
+
+double SanitizingOracle::Count(const Box& box) const {
+  double count = inner_.Count(box);
+  if (!std::isfinite(count) || count < 0.0) {
+    ++stats_->clamped_feedback;
+    return 0.0;
+  }
+  return count;
+}
+
+std::optional<Box> SanitizeFeedbackQuery(const Box& domain, const Box& query,
+                                         RobustnessStats* stats) {
+  if (query.dim() != domain.dim()) {
+    ++stats->rejected_queries;
+    return std::nullopt;
+  }
+  bool repaired = false;
+  std::vector<double> lo(query.dim()), hi(query.dim());
+  for (size_t d = 0; d < query.dim(); ++d) {
+    if (!std::isfinite(query.lo(d)) || !std::isfinite(query.hi(d))) {
+      ++stats->rejected_queries;
+      return std::nullopt;
+    }
+    lo[d] = std::min(query.lo(d), query.hi(d));
+    hi[d] = std::max(query.lo(d), query.hi(d));
+    if (lo[d] != query.lo(d) || hi[d] != query.hi(d)) repaired = true;
+    double clamped_lo = std::clamp(lo[d], domain.lo(d), domain.hi(d));
+    double clamped_hi = std::clamp(hi[d], domain.lo(d), domain.hi(d));
+    if (clamped_lo != lo[d] || clamped_hi != hi[d]) repaired = true;
+    lo[d] = clamped_lo;
+    hi[d] = clamped_hi;
+  }
+  Box result(std::move(lo), std::move(hi));
+  if (result.Volume() <= 0.0) {
+    ++stats->rejected_queries;
+    return std::nullopt;
+  }
+  if (repaired) ++stats->sanitized_queries;
+  return result;
+}
+
+bool IsEstimableQuery(const Box& domain, const Box& query) {
+  if (query.dim() != domain.dim()) return false;
+  for (size_t d = 0; d < query.dim(); ++d) {
+    if (!std::isfinite(query.lo(d)) || !std::isfinite(query.hi(d))) {
+      return false;
+    }
+    if (query.lo(d) > query.hi(d)) return false;
+  }
+  return true;
+}
+
+}  // namespace sthist

@@ -1,0 +1,48 @@
+#ifndef STHIST_HISTOGRAM_ROBUSTNESS_H_
+#define STHIST_HISTOGRAM_ROBUSTNESS_H_
+
+#include <optional>
+
+#include "core/box.h"
+#include "histogram/histogram.h"
+
+namespace sthist {
+
+/// Wraps an untrusted CardinalityOracle so the tuning loops can consume its
+/// counts without poisoning bucket frequencies: non-finite counts become 0
+/// and negative counts are clamped to 0, each repair bumping
+/// `clamped_feedback` on the attached stats.
+///
+/// The self-tuning histograms route *all* feedback counts through this
+/// wrapper — it is the single choke point between an external engine's
+/// answers and the bucket arithmetic.
+class SanitizingOracle : public CardinalityOracle {
+ public:
+  /// Neither pointer is owned; both must outlive the wrapper.
+  SanitizingOracle(const CardinalityOracle& inner, RobustnessStats* stats)
+      : inner_(inner), stats_(stats) {}
+
+  double Count(const Box& box) const override;
+
+ private:
+  const CardinalityOracle& inner_;
+  RobustnessStats* stats_;
+};
+
+/// Repairs one feedback query box against the histogram domain: inverted
+/// intervals are swapped, out-of-domain boxes clamped into the domain.
+/// Returns std::nullopt — and bumps `rejected_queries` — when the box is
+/// unusable (non-finite bounds, dimension mismatch, zero volume inside the
+/// domain). A successful repair that changed the box bumps
+/// `sanitized_queries`; an already-clean box bumps nothing.
+std::optional<Box> SanitizeFeedbackQuery(const Box& domain, const Box& query,
+                                         RobustnessStats* stats);
+
+/// True when `query` is safe to estimate against `domain`: matching
+/// dimensionality, finite bounds, no inverted interval. The estimation path
+/// needs no repair — an unusable query simply estimates to zero.
+bool IsEstimableQuery(const Box& domain, const Box& query);
+
+}  // namespace sthist
+
+#endif  // STHIST_HISTOGRAM_ROBUSTNESS_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "histogram/robustness.h"
 
 namespace sthist {
 
@@ -87,7 +88,10 @@ void STGridHistogram::ForEachOverlap(const Box& query, Fn&& fn) const {
 }
 
 double STGridHistogram::Estimate(const Box& query) const {
-  STHIST_CHECK(query.dim() == dim());
+  if (!IsEstimableQuery(domain_, query)) {
+    ++stats_.rejected_queries;
+    return 0.0;
+  }
   double estimate = 0.0;
   ForEachOverlap(query, [&](size_t index, double fraction) {
     estimate += frequencies_[index] * fraction;
@@ -97,15 +101,21 @@ double STGridHistogram::Estimate(const Box& query) const {
 
 void STGridHistogram::Refine(const Box& query,
                              const CardinalityOracle& oracle) {
-  STHIST_CHECK(query.dim() == dim());
+  // Query boxes and oracle counts are untrusted: repair what is repairable,
+  // drop what is not, and never abort.
+  std::optional<Box> sanitized = SanitizeFeedbackQuery(domain_, query, &stats_);
+  if (!sanitized.has_value()) return;
+  const Box q = std::move(*sanitized);
 
   // STGrid's feedback model: only the query's total true cardinality.
-  double actual = oracle.Count(query);
+  // The sanitizing wrapper clamps non-finite and negative counts to 0.
+  SanitizingOracle safe(oracle, &stats_);
+  double actual = safe.Count(q);
 
   // Collect overlaps once; reuse for the weighted update.
   std::vector<std::pair<size_t, double>> overlaps;
   double estimate = 0.0;
-  ForEachOverlap(query, [&](size_t index, double fraction) {
+  ForEachOverlap(q, [&](size_t index, double fraction) {
     overlaps.push_back({index, fraction});
     estimate += frequencies_[index] * fraction;
   });

@@ -45,12 +45,20 @@ class STGridHistogram : public Histogram {
   STGridHistogram(const Box& domain, double total_tuples,
                   const STGridConfig& config);
 
+  /// Estimated cardinality of `query`. Malformed queries estimate to 0 and
+  /// bump the robustness counters instead of aborting.
   double Estimate(const Box& query) const override;
 
   /// Delta-rule refinement from the query's true total cardinality only.
+  /// Untrusted feedback degrades gracefully: unusable query boxes are
+  /// dropped, repairable ones sanitized, and non-finite or negative counts
+  /// clamped — each bumping robustness().
   void Refine(const Box& query, const CardinalityOracle& oracle) override;
 
   size_t bucket_count() const override { return frequencies_.size(); }
+
+  /// Degradation counters accumulated since construction.
+  RobustnessStats robustness() const override { return stats_; }
 
   /// Sum of all cell frequencies.
   double TotalFrequency() const;
@@ -88,6 +96,8 @@ class STGridHistogram : public Histogram {
   std::vector<std::vector<double>> boundaries_;  // Per dim, sorted.
   std::vector<double> frequencies_;              // Row-major tensor.
   size_t queries_seen_ = 0;
+  // Mutable so the const Estimate path can record rejected queries.
+  mutable RobustnessStats stats_;
 };
 
 }  // namespace sthist

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/check.h"
+#include "histogram/robustness.h"
 
 namespace sthist {
 
@@ -66,7 +67,10 @@ double STHoles::RegionIntersectionVolume(const Bucket& b, const Box& query) {
 // ---------------------------------------------------------------------------
 
 double STHoles::Estimate(const Box& query) const {
-  STHIST_CHECK(query.dim() == root_->box.dim());
+  if (!IsEstimableQuery(root_->box, query)) {
+    ++stats_.rejected_queries;
+    return 0.0;
+  }
   return EstimateNode(*root_, query);
 }
 
@@ -104,9 +108,17 @@ double STHoles::TotalFrequency() const {
 // ---------------------------------------------------------------------------
 
 void STHoles::Refine(const Box& query, const CardinalityOracle& oracle) {
-  STHIST_CHECK(query.dim() == root_->box.dim());
-  Box q = root_->box.Intersection(query);
-  if (q.Volume() <= MinVolume()) return;
+  // Query boxes and oracle counts are untrusted: repair what is repairable,
+  // drop what is not, and never abort.
+  std::optional<Box> sanitized =
+      SanitizeFeedbackQuery(root_->box, query, &stats_);
+  if (!sanitized.has_value()) return;
+  Box q = std::move(*sanitized);
+  if (q.Volume() <= MinVolume()) {
+    ++stats_.rejected_queries;
+    return;
+  }
+  SanitizingOracle safe(oracle, &stats_);
 
   // Snapshot the buckets the query intersects before mutating the tree: holes
   // drilled by this very query must not be drilled into again.
@@ -116,7 +128,7 @@ void STHoles::Refine(const Box& query, const CardinalityOracle& oracle) {
   for (Bucket* b : intersecting) {
     Box candidate = ShrinkCandidate(*b, q);
     if (candidate.Volume() <= MinVolume()) continue;
-    DrillHole(b, candidate, oracle);
+    DrillHole(b, candidate, safe);
   }
 
   EnforceBudget();
@@ -204,6 +216,10 @@ void STHoles::SetExactFrequency(Bucket* b, const CardinalityOracle& oracle) {
   for (const auto& child : b->children) {
     f -= oracle.Count(child->box);
   }
+  if (!std::isfinite(f)) {
+    ++stats_.repaired_buckets;
+    f = 0.0;
+  }
   b->frequency = std::max(f, 0.0);
 }
 
@@ -248,6 +264,10 @@ void STHoles::DrillHole(Bucket* b, const Box& candidate,
   b->children = std::move(kept);
 
   hole->frequency = std::max(oracle.Count(candidate) - moved_mass, 0.0);
+  if (!std::isfinite(hole->frequency)) {
+    ++stats_.repaired_buckets;
+    hole->frequency = 0.0;
+  }
   b->frequency = std::max(b->frequency - hole->frequency, 0.0);
   b->children.push_back(std::move(hole));
   ++bucket_count_;
@@ -260,7 +280,12 @@ void STHoles::DrillHole(Bucket* b, const Box& candidate,
 void STHoles::EnforceBudget() {
   while (bucket_count() > config_.max_buckets) {
     MergeCandidate merge = FindBestMerge();
-    if (merge.parent == nullptr) return;  // Nothing mergeable.
+    if (merge.parent == nullptr) {
+      // Budget exhaustion with nothing mergeable: keep the extra buckets
+      // rather than aborting, and make the degradation observable.
+      ++stats_.repaired_buckets;
+      return;
+    }
     ApplyMerge(merge);
   }
 }

@@ -42,12 +42,23 @@ class STHoles : public Histogram {
   STHoles& operator=(const STHoles&) = delete;
   ~STHoles() override;
 
+  /// Estimated cardinality of `query`. Malformed queries (dimension
+  /// mismatch, non-finite or inverted bounds) estimate to 0 and bump the
+  /// robustness counters instead of aborting.
   double Estimate(const Box& query) const override;
 
   /// Learns from the feedback of one executed query: drills shrunken
   /// candidate holes with exact counts into every intersected bucket, then
   /// compacts back to the bucket budget.
+  ///
+  /// Pathological feedback degrades gracefully instead of aborting: unusable
+  /// query boxes are dropped, repairable ones (inverted/out-of-domain) are
+  /// sanitized, and non-finite or negative oracle counts are clamped — each
+  /// bumping the corresponding robustness() counter.
   void Refine(const Box& query, const CardinalityOracle& oracle) override;
+
+  /// Degradation counters accumulated since construction.
+  RobustnessStats robustness() const override { return stats_; }
 
   /// Buckets excluding the fixed root (the paper's counting convention).
   size_t bucket_count() const override { return bucket_count_ - 1; }
@@ -136,6 +147,8 @@ class STHoles : public Histogram {
   STHolesConfig config_;
   std::unique_ptr<Bucket> root_;
   size_t bucket_count_ = 0;  // Including root.
+  // Mutable so the const Estimate path can record rejected queries.
+  mutable RobustnessStats stats_;
 };
 
 }  // namespace sthist

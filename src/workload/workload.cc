@@ -53,6 +53,91 @@ Workload Permuted(const Workload& workload, uint64_t seed) {
   return out;
 }
 
+Status ValidateQueryBox(const Box& domain, const Box& query) {
+  if (query.dim() != domain.dim()) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "query has %zu dimensions, domain has %zu", query.dim(),
+                   domain.dim());
+  }
+  for (size_t d = 0; d < query.dim(); ++d) {
+    if (!std::isfinite(query.lo(d)) || !std::isfinite(query.hi(d))) {
+      return StatusF(StatusCode::kInvalidArgument,
+                     "query bound in dimension %zu is non-finite", d);
+    }
+    if (query.lo(d) > query.hi(d)) {
+      return StatusF(StatusCode::kInvalidArgument,
+                     "query interval in dimension %zu is inverted: [%g,%g]", d,
+                     query.lo(d), query.hi(d));
+    }
+    if (query.lo(d) == query.hi(d)) {
+      return StatusF(StatusCode::kInvalidArgument,
+                     "query has zero extent in dimension %zu", d);
+    }
+  }
+  if (domain.IntersectionVolume(query) <= 0.0) {
+    return Status::InvalidArgument("query " + query.ToString() +
+                                   " lies outside the domain " +
+                                   domain.ToString());
+  }
+  return Status::Ok();
+}
+
+StatusOr<Box> SanitizeQueryBox(const Box& domain, const Box& query) {
+  if (query.dim() != domain.dim()) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "query has %zu dimensions, domain has %zu", query.dim(),
+                   domain.dim());
+  }
+  std::vector<double> lo(query.dim()), hi(query.dim());
+  for (size_t d = 0; d < query.dim(); ++d) {
+    if (!std::isfinite(query.lo(d)) || !std::isfinite(query.hi(d))) {
+      return StatusF(StatusCode::kInvalidArgument,
+                     "query bound in dimension %zu is non-finite", d);
+    }
+    lo[d] = std::min(query.lo(d), query.hi(d));
+    hi[d] = std::max(query.lo(d), query.hi(d));
+    lo[d] = std::clamp(lo[d], domain.lo(d), domain.hi(d));
+    hi[d] = std::clamp(hi[d], domain.lo(d), domain.hi(d));
+  }
+  Box repaired(std::move(lo), std::move(hi));
+  if (repaired.Volume() <= 0.0) {
+    return Status::InvalidArgument(
+        "query " + query.ToString() +
+        " has zero volume inside the domain after repair");
+  }
+  return repaired;
+}
+
+StatusOr<Workload> MakeWorkloadChecked(const Box& domain,
+                                       const WorkloadConfig& config,
+                                       const Dataset* data) {
+  if (domain.dim() == 0) {
+    return Status::InvalidArgument("workload domain has zero dimensions");
+  }
+  for (size_t d = 0; d < domain.dim(); ++d) {
+    if (!std::isfinite(domain.lo(d)) || !std::isfinite(domain.hi(d))) {
+      return StatusF(StatusCode::kInvalidArgument,
+                     "domain bound in dimension %zu is non-finite", d);
+    }
+  }
+  if (domain.Volume() <= 0.0) {
+    return Status::InvalidArgument("workload domain " + domain.ToString() +
+                                   " has zero volume");
+  }
+  if (!std::isfinite(config.volume_fraction) ||
+      config.volume_fraction <= 0.0 || config.volume_fraction > 1.0) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "volume_fraction must be in (0,1], got %g",
+                   config.volume_fraction);
+  }
+  if (config.centers == CenterDistribution::kData &&
+      (data == nullptr || data->size() == 0)) {
+    return Status::InvalidArgument(
+        "data-following centers need a non-empty dataset");
+  }
+  return MakeWorkload(domain, config, data);
+}
+
 Workload MakeGridWorkload(const Box& domain, size_t cells_per_dim,
                           uint64_t seed) {
   STHIST_CHECK(cells_per_dim >= 1);

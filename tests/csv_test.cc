@@ -2,9 +2,10 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
 #include <fstream>
+#include <string>
 
+#include "core/status.h"
 #include "data/generators.h"
 
 namespace sthist {
@@ -14,15 +15,33 @@ std::string TempPath(const std::string& name) {
   return testing::TempDir() + "/" + name;
 }
 
+std::string WriteFile(const std::string& name, const std::string& text) {
+  std::string path = TempPath(name);
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+// Asserts ReadCsv fails with the given code and that the message carries
+// the diagnostic fragment (line/column info for malformed files).
+void ExpectReadFails(const std::string& path, StatusCode code,
+                     const std::string& fragment) {
+  StatusOr<Dataset> loaded = ReadCsv(path);
+  ASSERT_FALSE(loaded.ok()) << path;
+  EXPECT_EQ(loaded.status().code(), code) << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find(fragment), std::string::npos)
+      << "status was: " << loaded.status().ToString();
+}
+
 TEST(CsvTest, RoundTripPreservesValues) {
   Dataset data(3);
   data.Append(Point{1.5, -2.25, 3.0});
   data.Append(Point{0.0, 1e-9, 123456.789});
 
   std::string path = TempPath("roundtrip.csv");
-  ASSERT_TRUE(WriteCsv(data, path));
-  std::optional<Dataset> loaded = ReadCsv(path);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(WriteCsv(data, path).ok());
+  StatusOr<Dataset> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   ASSERT_EQ(loaded->size(), data.size());
   ASSERT_EQ(loaded->dim(), data.dim());
   for (size_t i = 0; i < data.size(); ++i) {
@@ -38,52 +57,97 @@ TEST(CsvTest, RoundTripGeneratedDataset) {
   config.noise_tuples = 50;
   GeneratedData g = MakeCross(config);
   std::string path = TempPath("cross.csv");
-  ASSERT_TRUE(WriteCsv(g.data, path));
-  std::optional<Dataset> loaded = ReadCsv(path);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(WriteCsv(g.data, path).ok());
+  StatusOr<Dataset> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->size(), g.data.size());
   EXPECT_EQ(loaded->Bounds(), g.data.Bounds());
 }
 
 TEST(CsvTest, HeaderRowIsSkipped) {
-  std::string path = TempPath("header.csv");
-  {
-    std::ofstream out(path);
-    out << "x,y\n1,2\n3,4\n";
-  }
-  std::optional<Dataset> loaded = ReadCsv(path);
-  ASSERT_TRUE(loaded.has_value());
+  std::string path = WriteFile("header.csv", "x,y\n1,2\n3,4\n");
+  StatusOr<Dataset> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->size(), 2u);
   EXPECT_EQ(loaded->dim(), 2u);
   EXPECT_DOUBLE_EQ(loaded->value(1, 1), 4.0);
 }
 
-TEST(CsvTest, MalformedMidFileFails) {
-  std::string path = TempPath("bad.csv");
-  {
-    std::ofstream out(path);
-    out << "1,2\nnot,numbers\n";
-  }
-  EXPECT_FALSE(ReadCsv(path).has_value());
+TEST(CsvTest, MalformedMidFileNamesLineAndColumn) {
+  std::string path = WriteFile("bad.csv", "1,2\n3,oops\n5,6\n");
+  ExpectReadFails(path, StatusCode::kInvalidArgument,
+                  "line 2, column 2: non-numeric field");
 }
 
-TEST(CsvTest, RaggedRowsFail) {
-  std::string path = TempPath("ragged.csv");
-  {
-    std::ofstream out(path);
-    out << "1,2\n3,4,5\n";
-  }
-  EXPECT_FALSE(ReadCsv(path).has_value());
+TEST(CsvTest, SecondHeaderIsAnError) {
+  // Only the very first line may be a header; textual junk later is data
+  // corruption, not a header.
+  std::string path = WriteFile("twoheaders.csv", "x,y\n1,2\nx,y\n");
+  ExpectReadFails(path, StatusCode::kInvalidArgument,
+                  "line 3, column 1: non-numeric field");
 }
 
-TEST(CsvTest, MissingFileFails) {
-  EXPECT_FALSE(ReadCsv(TempPath("does_not_exist.csv")).has_value());
+TEST(CsvTest, RaggedRowsNameExpectedAndActualArity) {
+  std::string path = WriteFile("ragged.csv", "1,2\n3,4,5\n");
+  ExpectReadFails(path, StatusCode::kInvalidArgument,
+                  "line 2: expected 2 fields, got 3");
+}
+
+TEST(CsvTest, TruncatedLastLineFails) {
+  // A write that died mid-tuple leaves a short final row.
+  std::string path = WriteFile("truncated.csv", "1,2,3\n4,5,6\n7,8");
+  ExpectReadFails(path, StatusCode::kInvalidArgument,
+                  "line 3: expected 3 fields, got 2");
+}
+
+TEST(CsvTest, NanLiteralIsRejected) {
+  std::string path = WriteFile("nan.csv", "1,2\nnan,4\n");
+  ExpectReadFails(path, StatusCode::kInvalidArgument,
+                  "line 2, column 1: non-finite value");
+}
+
+TEST(CsvTest, InfLiteralIsRejected) {
+  std::string path = WriteFile("inf.csv", "1,2\n3,-inf\n");
+  ExpectReadFails(path, StatusCode::kInvalidArgument,
+                  "line 2, column 2: non-finite value");
+}
+
+TEST(CsvTest, EmptyFieldIsRejected) {
+  std::string path = WriteFile("emptyfield.csv", "1,2\n3,\n");
+  ExpectReadFails(path, StatusCode::kInvalidArgument, "line 2");
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  StatusOr<Dataset> loaded = ReadCsv(TempPath("does_not_exist.csv"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(loaded.status().message().find("does_not_exist.csv"),
+            std::string::npos);
 }
 
 TEST(CsvTest, EmptyFileFails) {
-  std::string path = TempPath("empty.csv");
-  { std::ofstream out(path); }
-  EXPECT_FALSE(ReadCsv(path).has_value());
+  std::string path = WriteFile("empty.csv", "");
+  ExpectReadFails(path, StatusCode::kInvalidArgument, "no data rows");
+}
+
+TEST(CsvTest, HeaderOnlyFileFails) {
+  std::string path = WriteFile("headeronly.csv", "x,y,z\n");
+  ExpectReadFails(path, StatusCode::kInvalidArgument, "no data rows");
+}
+
+TEST(CsvTest, BlankLinesAreTolerated) {
+  std::string path = WriteFile("blank.csv", "1,2\n\n3,4\n\n");
+  StatusOr<Dataset> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST(CsvTest, WriteToUnwritablePathIsIoError) {
+  Dataset data(2);
+  data.Append(Point{1.0, 2.0});
+  Status status = WriteCsv(data, "/nonexistent-dir/out.csv");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
 }
 
 }  // namespace

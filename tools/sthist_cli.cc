@@ -6,19 +6,25 @@
 //   sthist_cli cluster --data my.csv --alpha 0.05 --beta 0.25 --width 0.05
 //   sthist_cli experiment --dataset cross --buckets 100 --init
 //   sthist_cli experiment --data my.csv --buckets 200 --train 1000 --sim 1000
+//   sthist_cli experiment --dataset gauss --fault-rate 0.05 --fault-seed 7
 //   sthist_cli inspect --dataset cross --buckets 20 --train 100
+//
+// Exit codes: 0 success; 1 runtime failure (unreadable/malformed input,
+// failed write — the Status message is printed to stderr); 2 usage error
+// (unknown subcommand or flag).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <map>
-#include <optional>
 #include <string>
 
 #include "clustering/clique.h"
 #include "clustering/clusterer.h"
 #include "clustering/doc.h"
 #include "clustering/mineclus.h"
+#include "core/status.h"
 #include "data/csv.h"
 #include "data/generators.h"
 #include "eval/runner.h"
@@ -26,10 +32,16 @@
 #include "histogram/census.h"
 #include "histogram/stholes.h"
 #include "init/initializer.h"
+#include "testing/fault_injection.h"
 
 namespace {
 
 using namespace sthist;
+
+// Exit codes (documented in README.md).
+constexpr int kExitOk = 0;
+constexpr int kExitFailure = 1;
+constexpr int kExitUsage = 2;
 
 // ---------------------------------------------------------------------------
 // Tiny flag parser: --name value and boolean --name.
@@ -41,8 +53,7 @@ class Flags {
     for (int i = first; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-        ok_ = false;
+        error_ = Status::InvalidArgument("unexpected argument: " + arg);
         return;
       }
       std::string name = arg.substr(2);
@@ -54,7 +65,25 @@ class Flags {
     }
   }
 
-  bool ok() const { return ok_; }
+  const Status& error() const { return error_; }
+
+  /// Rejects any flag not in `allowed`, so typos fail loudly instead of
+  /// silently falling back to defaults.
+  Status CheckAllowed(std::initializer_list<const char*> allowed) const {
+    for (const auto& [name, unused_value] : values_) {
+      bool known = false;
+      for (const char* candidate : allowed) {
+        if (name == candidate) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return Status::InvalidArgument("unknown flag: --" + name);
+      }
+    }
+    return Status::Ok();
+  }
 
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
 
@@ -75,23 +104,32 @@ class Flags {
 
  private:
   std::map<std::string, std::string> values_;
-  bool ok_ = true;
+  Status error_;
 };
+
+// Flag groups shared by several subcommands.
+#define STHIST_DATASET_FLAGS "data", "dataset", "tuples", "dim", "seed"
+#define STHIST_CLUSTER_FLAGS                                          \
+  "clusterer", "alpha", "beta", "width", "max-clusters", "xi", "tau", \
+      "max-dims"
+#define STHIST_FAULT_FLAGS \
+  "fault-rate", "fault-seed", "fault-noise", "fault-data"
 
 // ---------------------------------------------------------------------------
 // Dataset resolution: either a named generator or a CSV file.
 // ---------------------------------------------------------------------------
 
-std::optional<GeneratedData> ResolveDataset(const Flags& flags) {
+StatusOr<GeneratedData> ResolveDataset(const Flags& flags) {
   if (flags.Has("data")) {
-    std::optional<Dataset> data = ReadCsv(flags.Str("data", ""));
-    if (!data.has_value()) {
-      std::fprintf(stderr, "failed to read CSV: %s\n",
-                   flags.Str("data", "").c_str());
-      return std::nullopt;
-    }
-    GeneratedData g{std::move(*data), Box(), {}};
+    StatusOr<Dataset> data = ReadCsv(flags.Str("data", ""));
+    if (!data.ok()) return data.status();
+    GeneratedData g{*std::move(data), Box(), {}};
     g.domain = g.data.Bounds();
+    if (g.domain.Volume() <= 0.0) {
+      return Status::InvalidArgument(
+          flags.Str("data", "") +
+          ": dataset has zero volume (all tuples equal in some attribute)");
+    }
     return g;
   }
 
@@ -104,6 +142,7 @@ std::optional<GeneratedData> ResolveDataset(const Flags& flags) {
                                 std::max<size_t>(config.dim, 1);
     config.noise_tuples = config.tuples_per_cluster * config.dim / 10;
     if (seed != 0) config.seed = seed;
+    STHIST_RETURN_IF_ERROR(Validate(config));
     return MakeCross(config);
   }
   if (name == "gauss") {
@@ -112,12 +151,14 @@ std::optional<GeneratedData> ResolveDataset(const Flags& flags) {
     config.cluster_tuples = flags.Size("tuples", 110000) * 10 / 11;
     config.noise_tuples = flags.Size("tuples", 110000) / 11;
     if (seed != 0) config.seed = seed;
+    STHIST_RETURN_IF_ERROR(Validate(config));
     return MakeGauss(config);
   }
   if (name == "sky") {
     SkyConfig config;
     config.tuples = flags.Size("tuples", 200000);
     if (seed != 0) config.seed = seed;
+    STHIST_RETURN_IF_ERROR(Validate(config));
     return MakeSky(config);
   }
   if (name == "particle") {
@@ -126,12 +167,41 @@ std::optional<GeneratedData> ResolveDataset(const Flags& flags) {
     config.cluster_tuples = tuples * 4 / 5;
     config.noise_tuples = tuples / 5;
     if (seed != 0) config.seed = seed;
+    STHIST_RETURN_IF_ERROR(Validate(config));
     return MakeParticle(config);
   }
-  std::fprintf(stderr, "unknown dataset: %s (try cross, gauss, sky, "
-               "particle, or --data file.csv)\n",
-               name.c_str());
-  return std::nullopt;
+  return Status::NotFound("unknown dataset: " + name +
+                          " (try cross, gauss, sky, particle, or "
+                          "--data file.csv)");
+}
+
+FaultConfig FaultsFromFlags(const Flags& flags) {
+  FaultConfig faults;
+  faults.rate = flags.Num("fault-rate", 0.0);
+  faults.seed = static_cast<uint64_t>(flags.Num("fault-seed", 99));
+  faults.noise_factor = flags.Num("fault-noise", faults.noise_factor);
+  return faults;
+}
+
+// Applies --fault-data: corrupts ~rate of the tuples, then repairs the
+// dataset the way a service ingesting it would (drop non-finite tuples).
+Status MaybeInjectDataFaults(const Flags& flags, GeneratedData* g) {
+  if (!flags.Has("fault-data")) return Status::Ok();
+  FaultConfig faults = FaultsFromFlags(flags);
+  if (faults.rate <= 0.0) {
+    return Status::InvalidArgument("--fault-data needs --fault-rate > 0");
+  }
+  g->data = CorruptDataset(g->data, g->domain, faults);
+  Status validation = g->data.Validate();
+  std::fprintf(stderr, "fault-data: %s\n", validation.ToString().c_str());
+  size_t dropped = 0;
+  g->data = DropNonFiniteTuples(g->data, &dropped);
+  std::fprintf(stderr, "fault-data: dropped %zu corrupted tuples, %zu kept\n",
+               dropped, g->data.size());
+  if (g->data.size() == 0) {
+    return Status::InvalidArgument("all tuples corrupted away");
+  }
+  return Status::Ok();
 }
 
 MineClusConfig MineClusFromFlags(const Flags& flags) {
@@ -144,59 +214,63 @@ MineClusConfig MineClusFromFlags(const Flags& flags) {
 }
 
 // Builds the clusterer selected by --clusterer (mineclus | clique | doc).
-std::unique_ptr<SubspaceClusterer> ClustererFromFlags(const Flags& flags) {
+StatusOr<std::unique_ptr<SubspaceClusterer>> ClustererFromFlags(
+    const Flags& flags) {
   std::string name = flags.Str("clusterer", "mineclus");
   if (name == "mineclus") {
-    return std::make_unique<MineClusClusterer>(MineClusFromFlags(flags));
+    return std::unique_ptr<SubspaceClusterer>(
+        std::make_unique<MineClusClusterer>(MineClusFromFlags(flags)));
   }
   if (name == "clique") {
     CliqueConfig config;
     config.xi = flags.Size("xi", config.xi);
     config.tau = flags.Num("tau", config.tau);
     config.max_dims = flags.Size("max-dims", config.max_dims);
-    return std::make_unique<CliqueClusterer>(config);
+    return std::unique_ptr<SubspaceClusterer>(
+        std::make_unique<CliqueClusterer>(config));
   }
   if (name == "doc") {
     DocConfig config;
     config.alpha = flags.Num("alpha", config.alpha);
     config.beta = flags.Num("beta", config.beta);
     config.width_fraction = flags.Num("width", config.width_fraction);
-    return std::make_unique<DocClusterer>(config);
+    return std::unique_ptr<SubspaceClusterer>(
+        std::make_unique<DocClusterer>(config));
   }
-  std::fprintf(stderr, "unknown clusterer: %s (try mineclus, clique, doc)\n",
-               name.c_str());
-  return nullptr;
+  return Status::NotFound("unknown clusterer: " + name +
+                          " (try mineclus, clique, doc)");
 }
 
 // ---------------------------------------------------------------------------
 // Subcommands
 // ---------------------------------------------------------------------------
 
-int RunGenerate(const Flags& flags) {
-  std::optional<GeneratedData> g = ResolveDataset(flags);
-  if (!g.has_value()) return 1;
+Status RunGenerate(const Flags& flags) {
+  STHIST_RETURN_IF_ERROR(
+      flags.CheckAllowed({STHIST_DATASET_FLAGS, "out"}));
+  StatusOr<GeneratedData> g = ResolveDataset(flags);
+  if (!g.ok()) return g.status();
   std::string out = flags.Str("out", "");
   if (out.empty()) {
-    std::fprintf(stderr, "generate requires --out <file.csv>\n");
-    return 1;
+    return Status::InvalidArgument("generate requires --out <file.csv>");
   }
-  if (!WriteCsv(g->data, out)) {
-    std::fprintf(stderr, "failed to write %s\n", out.c_str());
-    return 1;
-  }
+  STHIST_RETURN_IF_ERROR(WriteCsv(g->data, out));
   std::printf("wrote %zu tuples x %zu dims to %s\n", g->data.size(),
               g->data.dim(), out.c_str());
-  return 0;
+  return Status::Ok();
 }
 
-int RunCluster(const Flags& flags) {
-  std::optional<GeneratedData> g = ResolveDataset(flags);
-  if (!g.has_value()) return 1;
-  std::unique_ptr<SubspaceClusterer> clusterer = ClustererFromFlags(flags);
-  if (clusterer == nullptr) return 1;
+Status RunCluster(const Flags& flags) {
+  STHIST_RETURN_IF_ERROR(
+      flags.CheckAllowed({STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS}));
+  StatusOr<GeneratedData> g = ResolveDataset(flags);
+  if (!g.ok()) return g.status();
+  StatusOr<std::unique_ptr<SubspaceClusterer>> clusterer =
+      ClustererFromFlags(flags);
+  if (!clusterer.ok()) return clusterer.status();
   std::vector<SubspaceCluster> clusters =
-      clusterer->Cluster(g->data, g->domain);
-  std::printf("clusterer: %s\n", clusterer->name().c_str());
+      (*clusterer)->Cluster(g->data, g->domain);
+  std::printf("clusterer: %s\n", (*clusterer)->name().c_str());
 
   TablePrinter table({"cluster", "relevant dims", "members", "score"});
   for (size_t i = 0; i < clusters.size(); ++i) {
@@ -212,13 +286,18 @@ int RunCluster(const Flags& flags) {
   table.Print();
   std::printf("%zu clusters over %zu tuples\n", clusters.size(),
               g->data.size());
-  return 0;
+  return Status::Ok();
 }
 
-int RunExperiment(const Flags& flags) {
-  std::optional<GeneratedData> g = ResolveDataset(flags);
-  if (!g.has_value()) return 1;
-  Experiment experiment(std::move(*g));
+Status RunExperiment(const Flags& flags) {
+  STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
+      {STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS, STHIST_FAULT_FLAGS,
+       "buckets", "train", "sim", "volume", "init", "reversed", "freeze",
+       "data-centers"}));
+  StatusOr<GeneratedData> g = ResolveDataset(flags);
+  if (!g.ok()) return g.status();
+  STHIST_RETURN_IF_ERROR(MaybeInjectDataFaults(flags, &*g));
+  Experiment experiment(*std::move(g));
 
   ExperimentConfig config;
   config.buckets = flags.Size("buckets", 100);
@@ -229,8 +308,14 @@ int RunExperiment(const Flags& flags) {
   config.initializer.reversed = flags.Has("reversed");
   config.learn_during_sim = !flags.Has("freeze");
   config.mineclus = MineClusFromFlags(flags);
+  config.faults = FaultsFromFlags(flags);
   if (flags.Has("data-centers")) {
     config.centers = CenterDistribution::kData;
+  }
+  if (config.faults.rate < 0.0 || config.faults.rate > 1.0) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "--fault-rate must be in [0,1], got %g",
+                   config.faults.rate);
   }
 
   ExperimentResult result = experiment.Run(config);
@@ -245,14 +330,28 @@ int RunExperiment(const Flags& flags) {
   table.AddRow({"clustering s", FormatDouble(result.clustering_seconds, 2)});
   table.AddRow({"train s", FormatDouble(result.train_seconds, 2)});
   table.AddRow({"sim s", FormatDouble(result.sim_seconds, 2)});
+  if (config.faults.rate > 0.0 || result.robustness.total() > 0) {
+    table.AddRow({"faults injected", FormatSize(result.faults_injected)});
+    table.AddRow(
+        {"rejected queries", FormatSize(result.robustness.rejected_queries)});
+    table.AddRow({"sanitized queries",
+                  FormatSize(result.robustness.sanitized_queries)});
+    table.AddRow(
+        {"clamped feedback", FormatSize(result.robustness.clamped_feedback)});
+    table.AddRow(
+        {"repaired buckets", FormatSize(result.robustness.repaired_buckets)});
+  }
   table.Print();
-  return 0;
+  return Status::Ok();
 }
 
-int RunInspect(const Flags& flags) {
-  std::optional<GeneratedData> g = ResolveDataset(flags);
-  if (!g.has_value()) return 1;
-  Experiment experiment(std::move(*g));
+Status RunInspect(const Flags& flags) {
+  STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
+      {STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS, "buckets", "train",
+       "volume", "init", "out"}));
+  StatusOr<GeneratedData> g = ResolveDataset(flags);
+  if (!g.ok()) return g.status();
+  Experiment experiment(*std::move(g));
 
   STHolesConfig hc;
   hc.max_buckets = flags.Size("buckets", 20);
@@ -278,15 +377,14 @@ int RunInspect(const Flags& flags) {
     std::string path = flags.Str("out", "");
     FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      return 1;
+      return Status::IoError("cannot write " + path);
     }
     std::string text = hist.Serialize();
     std::fwrite(text.data(), 1, text.size(), f);
     std::fclose(f);
     std::printf("serialized histogram to %s\n", path.c_str());
   }
-  return 0;
+  return Status::Ok();
 }
 
 void PrintUsage() {
@@ -306,8 +404,12 @@ void PrintUsage() {
       "              --buckets N --train N --sim N --volume F [--init]\n"
       "              [--reversed] [--freeze] [--data-centers] + cluster "
       "flags\n"
+      "              fault injection: --fault-rate R --fault-seed S\n"
+      "              --fault-noise F [--fault-data]\n"
       "  inspect     print the bucket tree after training\n"
-      "              --buckets N --train N [--init] [--out hist.txt]\n",
+      "              --buckets N --train N [--init] [--out hist.txt]\n"
+      "\n"
+      "exit codes: 0 ok, 1 runtime failure, 2 usage error\n",
       stderr);
 }
 
@@ -316,18 +418,39 @@ void PrintUsage() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     PrintUsage();
-    return 1;
+    return kExitUsage;
   }
   std::string command = argv[1];
   Flags flags(argc, argv, 2);
-  if (!flags.ok()) {
+  if (!flags.error().ok()) {
+    std::fprintf(stderr, "%s\n", flags.error().ToString().c_str());
     PrintUsage();
-    return 1;
+    return kExitUsage;
   }
-  if (command == "generate") return RunGenerate(flags);
-  if (command == "cluster") return RunCluster(flags);
-  if (command == "experiment") return RunExperiment(flags);
-  if (command == "inspect") return RunInspect(flags);
-  PrintUsage();
-  return 1;
+
+  Status status;
+  if (command == "generate") {
+    status = RunGenerate(flags);
+  } else if (command == "cluster") {
+    status = RunCluster(flags);
+  } else if (command == "experiment") {
+    status = RunExperiment(flags);
+  } else if (command == "inspect") {
+    status = RunInspect(flags);
+  } else {
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    PrintUsage();
+    return kExitUsage;
+  }
+
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    if (status.code() == StatusCode::kInvalidArgument &&
+        status.message().rfind("unknown flag:", 0) == 0) {
+      PrintUsage();
+      return kExitUsage;
+    }
+    return kExitFailure;
+  }
+  return kExitOk;
 }
