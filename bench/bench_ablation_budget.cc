@@ -5,11 +5,11 @@
 
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Ablation — initialization cluster budget, Sky[1%], "
               "100 buckets",
               scale);
@@ -18,7 +18,7 @@ int main() {
   size_t available = experiment.Clusters(SkyMineClus()).size();
   std::printf("MineClus found %zu clusters\n\n", available);
 
-  TablePrinter table({"clusters fed", "NAE", "subspace buckets after sim"});
+  std::vector<ExperimentConfig> configs;
   for (size_t cap : {0u, 1u, 2u, 5u, 10u, 20u, 64u}) {
     ExperimentConfig config;
     config.buckets = 100;
@@ -28,8 +28,13 @@ int main() {
     config.initialize = cap > 0;
     config.initializer.max_clusters = cap;
     config.mineclus = SkyMineClus();
+    configs.push_back(config);
+  }
+  std::vector<ExperimentResult> results =
+      RunSweep(experiment, configs, scale.threads);
 
-    ExperimentResult result = experiment.Run(config);
+  TablePrinter table({"clusters fed", "NAE", "subspace buckets after sim"});
+  for (const ExperimentResult& result : results) {
     table.AddRow({FormatSize(result.clusters_fed),
                   FormatDouble(result.nae, 3),
                   FormatSize(result.subspace_buckets)});

@@ -6,20 +6,21 @@
 
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Ablation — query-center distribution, Gauss[1%]", scale);
 
   Experiment experiment(BenchGauss(scale));
 
-  TablePrinter table({"centers", "buckets", "uninit NAE", "init NAE",
-                      "ratio"});
-  for (CenterDistribution centers :
-       {CenterDistribution::kUniform, CenterDistribution::kData}) {
-    for (size_t buckets : {50u, 100u, 250u}) {
+  const std::vector<CenterDistribution> center_kinds = {
+      CenterDistribution::kUniform, CenterDistribution::kData};
+  const std::vector<size_t> bucket_counts = {50, 100, 250};
+  std::vector<ExperimentConfig> configs;
+  for (CenterDistribution centers : center_kinds) {
+    for (size_t buckets : bucket_counts) {
       ExperimentConfig config;
       config.buckets = buckets;
       config.train_queries = scale.train_queries;
@@ -27,14 +28,25 @@ int main() {
       config.volume_fraction = 0.01;
       config.centers = centers;
       config.mineclus = GaussMineClus();
-
-      ExperimentResult uninit = experiment.Run(config);
+      configs.push_back(config);
       config.initialize = true;
-      ExperimentResult init = experiment.Run(config);
+      configs.push_back(config);
+    }
+  }
+  std::vector<ExperimentResult> results =
+      RunSweep(experiment, configs, scale.threads);
 
+  TablePrinter table({"centers", "buckets", "uninit NAE", "init NAE",
+                      "ratio"});
+  for (size_t c = 0; c < center_kinds.size(); ++c) {
+    for (size_t b = 0; b < bucket_counts.size(); ++b) {
+      size_t cell = 2 * (c * bucket_counts.size() + b);
+      const ExperimentResult& uninit = results[cell];
+      const ExperimentResult& init = results[cell + 1];
       table.AddRow(
-          {centers == CenterDistribution::kUniform ? "uniform" : "data",
-           FormatSize(buckets), FormatDouble(uninit.nae, 3),
+          {center_kinds[c] == CenterDistribution::kUniform ? "uniform"
+                                                           : "data",
+           FormatSize(bucket_counts[b]), FormatDouble(uninit.nae, 3),
            FormatDouble(init.nae, 3),
            FormatDouble(init.nae / uninit.nae, 2)});
     }

@@ -9,17 +9,18 @@
 
 #include "clustering/clique.h"
 #include "clustering/doc.h"
+#include "core/thread_pool.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "histogram/stholes.h"
 #include "histogram/trivial.h"
 #include "init/initializer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Ablation — MineClus vs CLIQUE vs DOC as initializer", scale);
 
   struct Panel {
@@ -57,16 +58,31 @@ int main() {
     TablePrinter table({"initializer", "clusters", "buckets=50 NAE",
                         "buckets=100 NAE", "buckets=250 NAE"});
 
+    const std::vector<size_t> bucket_counts = {50, 100, 250};
+    // Each budget cell builds its own histogram against the shared
+    // read-only executor and workloads, so the budgets run concurrently.
+    auto measure_budgets = [&](const std::vector<SubspaceCluster>* clusters) {
+      std::vector<double> nae(bucket_counts.size());
+      ParallelFor(bucket_counts.size(), scale.threads, [&](size_t b) {
+        STHolesConfig hc;
+        hc.max_buckets = bucket_counts[b];
+        STHoles hist(experiment.domain(), experiment.total_tuples(), hc);
+        if (clusters != nullptr) {
+          InitializeHistogram(*clusters, experiment.domain(), executor,
+                              InitializerConfig{}, &hist);
+        }
+        Train(&hist, train, executor);
+        double mae = SimulateAndMeasure(&hist, sim, executor, true);
+        nae[b] = mae / trivial_mae;
+      });
+      return nae;
+    };
+
     // The uninitialized reference row.
     {
       std::vector<std::string> row = {"(none)", "0"};
-      for (size_t buckets : {50u, 100u, 250u}) {
-        STHolesConfig hc;
-        hc.max_buckets = buckets;
-        STHoles hist(experiment.domain(), experiment.total_tuples(), hc);
-        Train(&hist, train, executor);
-        double mae = SimulateAndMeasure(&hist, sim, executor, true);
-        row.push_back(FormatDouble(mae / trivial_mae, 3));
+      for (double nae : measure_budgets(nullptr)) {
+        row.push_back(FormatDouble(nae, 3));
       }
       table.AddRow(std::move(row));
     }
@@ -76,15 +92,8 @@ int main() {
           clusterer->Cluster(experiment.data(), experiment.domain());
       std::vector<std::string> row = {clusterer->name(),
                                       FormatSize(clusters.size())};
-      for (size_t buckets : {50u, 100u, 250u}) {
-        STHolesConfig hc;
-        hc.max_buckets = buckets;
-        STHoles hist(experiment.domain(), experiment.total_tuples(), hc);
-        InitializeHistogram(clusters, experiment.domain(), executor,
-                            InitializerConfig{}, &hist);
-        Train(&hist, train, executor);
-        double mae = SimulateAndMeasure(&hist, sim, executor, true);
-        row.push_back(FormatDouble(mae / trivial_mae, 3));
+      for (double nae : measure_budgets(&clusters)) {
+        row.push_back(FormatDouble(nae, 3));
       }
       table.AddRow(std::move(row));
     }

@@ -7,11 +7,11 @@
 
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Ablation — subspace vs full-dimensional clustering", scale);
 
   struct Panel {
@@ -27,25 +27,34 @@ int main() {
     size_t dim = panel.data.data.dim();
     Experiment experiment(std::move(panel.data));
 
-    TablePrinter table({"buckets", "subspace-init NAE", "fulldim-init NAE",
-                        "uninit NAE"});
-    for (size_t buckets : {50u, 100u, 250u}) {
+    const std::vector<size_t> bucket_counts = {50, 100, 250};
+    std::vector<ExperimentConfig> configs;
+    for (size_t buckets : bucket_counts) {
       ExperimentConfig config;
       config.buckets = buckets;
       config.train_queries = scale.train_queries;
       config.sim_queries = scale.sim_queries;
       config.volume_fraction = 0.01;
       config.mineclus = panel.mineclus;
-
-      ExperimentResult uninit = experiment.Run(config);
+      configs.push_back(config);  // Uninitialized.
 
       config.initialize = true;
-      ExperimentResult subspace = experiment.Run(config);
+      configs.push_back(config);  // Subspace clusters.
 
       config.mineclus.min_cluster_dims = dim;  // Full-dimensional only.
-      ExperimentResult fulldim = experiment.Run(config);
+      configs.push_back(config);
+    }
+    std::vector<ExperimentResult> results =
+        RunSweep(experiment, configs, scale.threads);
 
-      table.AddRow({FormatSize(buckets), FormatDouble(subspace.nae, 3),
+    TablePrinter table({"buckets", "subspace-init NAE", "fulldim-init NAE",
+                        "uninit NAE"});
+    for (size_t b = 0; b < bucket_counts.size(); ++b) {
+      const ExperimentResult& uninit = results[3 * b];
+      const ExperimentResult& subspace = results[3 * b + 1];
+      const ExperimentResult& fulldim = results[3 * b + 2];
+      table.AddRow({FormatSize(bucket_counts[b]),
+                    FormatDouble(subspace.nae, 3),
                     FormatDouble(fulldim.nae, 3),
                     FormatDouble(uninit.nae, 3)});
     }

@@ -10,11 +10,11 @@
 #include "histogram/stholes.h"
 #include "init/initializer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Ablation — extended BR vs plain MBR initialization", scale);
 
   struct Panel {
@@ -29,26 +29,35 @@ int main() {
   for (Panel& panel : panels) {
     Experiment experiment(std::move(panel.data));
 
-    TablePrinter table({"buckets", "extended-BR NAE", "plain-MBR NAE",
-                        "uninit NAE"});
-    for (size_t buckets : {50u, 100u, 250u}) {
+    const std::vector<size_t> bucket_counts = {50, 100, 250};
+    std::vector<ExperimentConfig> configs;
+    for (size_t buckets : bucket_counts) {
       ExperimentConfig config;
       config.buckets = buckets;
       config.train_queries = scale.train_queries;
       config.sim_queries = scale.sim_queries;
       config.volume_fraction = 0.01;
       config.mineclus = panel.mineclus;
-
-      ExperimentResult uninit = experiment.Run(config);
+      configs.push_back(config);  // Uninitialized.
 
       config.initialize = true;
       config.initializer.use_extended_br = true;
-      ExperimentResult extended = experiment.Run(config);
+      configs.push_back(config);  // Extended BR.
 
       config.initializer.use_extended_br = false;
-      ExperimentResult mbr = experiment.Run(config);
+      configs.push_back(config);  // Plain MBR.
+    }
+    std::vector<ExperimentResult> results =
+        RunSweep(experiment, configs, scale.threads);
 
-      table.AddRow({FormatSize(buckets), FormatDouble(extended.nae, 3),
+    TablePrinter table({"buckets", "extended-BR NAE", "plain-MBR NAE",
+                        "uninit NAE"});
+    for (size_t b = 0; b < bucket_counts.size(); ++b) {
+      const ExperimentResult& uninit = results[3 * b];
+      const ExperimentResult& extended = results[3 * b + 1];
+      const ExperimentResult& mbr = results[3 * b + 2];
+      table.AddRow({FormatSize(bucket_counts[b]),
+                    FormatDouble(extended.nae, 3),
                     FormatDouble(mbr.nae, 3), FormatDouble(uninit.nae, 3)});
     }
     std::printf("%s\n", panel.name);

@@ -5,17 +5,17 @@
 
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Ablation — cluster feeding order, Sky[1%]", scale);
 
   Experiment experiment(BenchSky(scale));
 
-  TablePrinter table({"buckets", "importance order NAE", "reversed NAE",
-                      "delta"});
+  // Two cells (importance order, reversed) per budget, swept concurrently.
+  std::vector<ExperimentConfig> configs;
   for (size_t buckets : scale.bucket_sweep) {
     ExperimentConfig config;
     config.buckets = buckets;
@@ -24,12 +24,20 @@ int main() {
     config.volume_fraction = 0.01;
     config.initialize = true;
     config.mineclus = SkyMineClus();
-
-    ExperimentResult normal = experiment.Run(config);
+    configs.push_back(config);
     config.initializer.reversed = true;
-    ExperimentResult reversed = experiment.Run(config);
+    configs.push_back(config);
+  }
+  std::vector<ExperimentResult> results =
+      RunSweep(experiment, configs, scale.threads);
 
-    table.AddRow({FormatSize(buckets), FormatDouble(normal.nae, 3),
+  TablePrinter table({"buckets", "importance order NAE", "reversed NAE",
+                      "delta"});
+  for (size_t i = 0; i < scale.bucket_sweep.size(); ++i) {
+    const ExperimentResult& normal = results[2 * i];
+    const ExperimentResult& reversed = results[2 * i + 1];
+    table.AddRow({FormatSize(scale.bucket_sweep[i]),
+                  FormatDouble(normal.nae, 3),
                   FormatDouble(reversed.nae, 3),
                   FormatDouble(reversed.nae - normal.nae, 3)});
   }

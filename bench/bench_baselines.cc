@@ -44,10 +44,10 @@ size_t CellsForBudget(size_t budget, size_t dim) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Baselines — trivial / static grid / STGrid / STHoles / "
               "STHoles+init",
               scale);

@@ -2,12 +2,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "core/thread_pool.h"
 #include "eval/table.h"
 
 namespace sthist::bench {
 
-Scale GetScale() {
+Scale GetScale(int argc, char** argv) {
   Scale scale;
   const char* full = std::getenv("STHIST_FULL");
   if (full != nullptr && full[0] == '1') {
@@ -19,6 +21,24 @@ Scale GetScale() {
     scale.crossnd_cluster_tuples_4d = 90000;
     scale.crossnd_cluster_tuples_5d = 2700000;
     scale.bucket_sweep = {50, 100, 150, 200, 250};
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long value = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || value == 0) {
+        std::fprintf(stderr, "--threads expects a positive integer, got %s\n",
+                     argv[i]);
+        std::exit(2);
+      }
+      scale.threads = static_cast<size_t>(value);
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\nusage: %s [--threads N]\n"
+                   "(STHIST_FULL=1 in the environment selects paper scale)\n",
+                   argv[i], argv[0]);
+      std::exit(2);
+    }
   }
   return scale;
 }
@@ -91,6 +111,9 @@ void PrintBanner(const std::string& title, const Scale& scale) {
               scale.full ? "paper (STHIST_FULL=1)" : "bench default",
               scale.train_queries, scale.sim_queries,
               scale.full ? "" : " — set STHIST_FULL=1 for paper scale");
+  std::printf("threads: %zu (override with --threads N; results are "
+              "identical at any thread count)\n",
+              scale.threads == 0 ? DefaultThreadCount() : scale.threads);
   std::printf("paper columns are approximate values digitized from the "
               "figure; compare shapes, not absolutes.\n\n");
 }
@@ -105,6 +128,22 @@ void RunFigure(Experiment* experiment, const FigureSpec& spec) {
   }
   TablePrinter table(headers);
 
+  // Every (bucket count x series) cell is independent; sweep them all
+  // concurrently and format afterwards in row-major order.
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(spec.bucket_counts.size() * spec.series.size());
+  for (size_t buckets : spec.bucket_counts) {
+    for (const Series& series : spec.series) {
+      ExperimentConfig config = spec.base;
+      config.buckets = buckets;
+      config.initialize = series.initialize;
+      config.initializer.reversed = series.reversed;
+      configs.push_back(config);
+    }
+  }
+  std::vector<ExperimentResult> results =
+      RunSweep(*experiment, configs, spec.threads);
+
   for (size_t i = 0; i < spec.bucket_counts.size(); ++i) {
     std::vector<std::string> row = {FormatSize(spec.bucket_counts[i])};
 
@@ -117,12 +156,9 @@ void RunFigure(Experiment* experiment, const FigureSpec& spec) {
       }
     }
 
-    for (const Series& series : spec.series) {
-      ExperimentConfig config = spec.base;
-      config.buckets = spec.bucket_counts[i];
-      config.initialize = series.initialize;
-      config.initializer.reversed = series.reversed;
-      ExperimentResult result = experiment->Run(config);
+    for (size_t s = 0; s < spec.series.size(); ++s) {
+      const Series& series = spec.series[s];
+      const ExperimentResult& result = results[i * spec.series.size() + s];
       row.push_back(FormatDouble(result.nae, 3));
       if (!series.paper_nae.empty()) {
         row.push_back(paper_index < series.paper_nae.size()

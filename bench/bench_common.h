@@ -15,6 +15,10 @@ namespace sthist::bench {
 /// cardinalities) at correspondingly longer runtimes.
 struct Scale {
   bool full = false;
+  /// Worker threads for experiment-cell sweeps (--threads N on the bench
+  /// command line; 0 = hardware concurrency). Results are identical at any
+  /// thread count — see the RunSweep determinism contract.
+  size_t threads = 0;
   size_t train_queries = 200;
   size_t sim_queries = 200;
   size_t sky_tuples = 100000;
@@ -28,8 +32,10 @@ struct Scale {
   std::vector<size_t> bucket_sweep = {50, 100, 250};
 };
 
-/// Reads the scale from the environment (STHIST_FULL=1 for paper scale).
-Scale GetScale();
+/// Reads the scale from the environment (STHIST_FULL=1 for paper scale)
+/// and, when argv is provided, the command line (--threads N). Unknown
+/// flags or a malformed --threads value terminate with a usage error.
+Scale GetScale(int argc = 0, char** argv = nullptr);
 
 /// Canonical dataset builders at bench scale.
 GeneratedData BenchCross();
@@ -62,9 +68,13 @@ struct FigureSpec {
   std::vector<size_t> paper_bucket_counts = {50, 100, 150, 200, 250};
   ExperimentConfig base;
   std::vector<Series> series;
+  /// Worker threads for the cell sweep (0 = hardware concurrency).
+  /// Callers copy Scale::threads here.
+  size_t threads = 0;
 };
 
-/// Runs the sweep and prints one table: rows = bucket counts, columns =
+/// Runs the sweep — all (bucket count x series) cells concurrently via
+/// RunSweep — and prints one table: rows = bucket counts, columns =
 /// measured NAE per series plus the paper's approximate value.
 void RunFigure(Experiment* experiment, const FigureSpec& spec);
 

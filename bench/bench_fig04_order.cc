@@ -13,11 +13,11 @@
 #include "histogram/stholes.h"
 #include "workload/query.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Figure 4 — query order shapes the 2-bucket histogram", scale);
 
   Dataset data(2);

@@ -3,11 +3,11 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Figure 12 — Gauss[1%], initialized vs uninitialized", scale);
 
   Experiment experiment(BenchGauss(scale));
@@ -15,6 +15,7 @@ int main() {
   FigureSpec spec;
   spec.title = "Gauss[1%] normalized absolute error";
   spec.bucket_counts = scale.bucket_sweep;
+  spec.threads = scale.threads;
   spec.base.train_queries = scale.train_queries;
   spec.base.sim_queries = scale.sim_queries;
   spec.base.volume_fraction = 0.01;

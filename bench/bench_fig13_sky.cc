@@ -4,11 +4,11 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Figure 13 — Sky[1%], with reversed-order initialization",
               scale);
 
@@ -17,6 +17,7 @@ int main() {
   FigureSpec spec;
   spec.title = "Sky[1%] normalized absolute error";
   spec.bucket_counts = scale.bucket_sweep;
+  spec.threads = scale.threads;
   spec.base.train_queries = scale.train_queries;
   spec.base.sim_queries = scale.sim_queries;
   spec.base.volume_fraction = 0.01;

@@ -6,11 +6,11 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Figure 15 — Cross3d/4d/5d dimensionality sweep", scale);
 
   struct Panel {
@@ -32,7 +32,8 @@ int main() {
                  "absolute error (" +
                  std::to_string(experiment.data().size()) + " tuples)";
     spec.bucket_counts = scale.bucket_sweep;
-    spec.base.train_queries = scale.train_queries;
+    spec.threads = scale.threads;
+  spec.base.train_queries = scale.train_queries;
     spec.base.sim_queries = scale.sim_queries;
     spec.base.volume_fraction = 0.01;
     spec.base.mineclus = CrossMineClus();

@@ -8,35 +8,41 @@
 
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Figure 17 — training-volume sweep, Cross4d[1%], 100 buckets",
               scale);
 
   Experiment experiment(BenchCrossNd(4, scale));
 
-  TablePrinter table({"training queries", "uninit NAE", "uninit (paper)",
-                      "init NAE", "init (paper)"});
   const std::vector<size_t> training_sizes = {50, 100, 250, 1000};
   const std::vector<double> paper_uninit = {0.620, 0.550, 0.480, 0.420};
   const std::vector<double> paper_init = {0.120, 0.120, 0.120, 0.120};
 
-  for (size_t i = 0; i < training_sizes.size(); ++i) {
+  std::vector<ExperimentConfig> configs;
+  for (size_t training : training_sizes) {
     ExperimentConfig config;
     config.buckets = 100;
-    config.train_queries = training_sizes[i];
+    config.train_queries = training;
     config.sim_queries = scale.sim_queries;
     config.volume_fraction = 0.01;
     config.learn_during_sim = false;  // Refinement frozen after training.
     config.mineclus = CrossMineClus();
-
-    ExperimentResult uninit = experiment.Run(config);
+    configs.push_back(config);
     config.initialize = true;
-    ExperimentResult init = experiment.Run(config);
+    configs.push_back(config);
+  }
+  std::vector<ExperimentResult> results =
+      RunSweep(experiment, configs, scale.threads);
 
+  TablePrinter table({"training queries", "uninit NAE", "uninit (paper)",
+                      "init NAE", "init (paper)"});
+  for (size_t i = 0; i < training_sizes.size(); ++i) {
+    const ExperimentResult& uninit = results[2 * i];
+    const ExperimentResult& init = results[2 * i + 1];
     table.AddRow({FormatSize(training_sizes[i]),
                   FormatDouble(uninit.nae, 3), FormatDouble(paper_uninit[i], 3),
                   FormatDouble(init.nae, 3), FormatDouble(paper_init[i], 3)});

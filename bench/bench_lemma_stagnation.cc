@@ -39,11 +39,11 @@ double GridError(const STHoles& hist, const Workload& cells,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Lemmas 1-3 — storage vs detectability thresholds", scale);
 
   const size_t kGrid = 10;

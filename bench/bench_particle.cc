@@ -6,11 +6,11 @@
 
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("18-d particle dataset — high-dimensional stress", scale);
 
   ParticleConfig data_config;
@@ -22,9 +22,9 @@ int main() {
   std::printf("dataset: %zu tuples, %zu dims\n\n", experiment.data().size(),
               experiment.data().dim());
 
-  TablePrinter table({"buckets", "uninit NAE", "init NAE", "reduction %",
-                      "sim s"});
-  for (size_t buckets : {50u, 100u, 250u}) {
+  const std::vector<size_t> bucket_counts = {50, 100, 250};
+  std::vector<ExperimentConfig> configs;
+  for (size_t buckets : bucket_counts) {
     ExperimentConfig config;
     config.buckets = buckets;
     config.train_queries = scale.train_queries / 2;
@@ -32,12 +32,19 @@ int main() {
     config.volume_fraction = 0.01;
     config.mineclus.alpha = 0.02;
     config.mineclus.width_fraction = 0.05;
-
-    ExperimentResult uninit = experiment.Run(config);
+    configs.push_back(config);
     config.initialize = true;
-    ExperimentResult init = experiment.Run(config);
+    configs.push_back(config);
+  }
+  std::vector<ExperimentResult> results =
+      RunSweep(experiment, configs, scale.threads);
 
-    table.AddRow({FormatSize(buckets), FormatDouble(uninit.nae, 3),
+  TablePrinter table({"buckets", "uninit NAE", "init NAE", "reduction %",
+                      "sim s"});
+  for (size_t b = 0; b < bucket_counts.size(); ++b) {
+    const ExperimentResult& uninit = results[2 * b];
+    const ExperimentResult& init = results[2 * b + 1];
+    table.AddRow({FormatSize(bucket_counts[b]), FormatDouble(uninit.nae, 3),
                   FormatDouble(init.nae, 3),
                   FormatDouble(100.0 * (1.0 - init.nae / uninit.nae), 1),
                   FormatDouble(init.sim_seconds, 2)});

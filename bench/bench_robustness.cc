@@ -9,11 +9,11 @@
 #include "bench_common.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Robustness — Cross[1%], error vs injected fault rate", scale);
 
   Experiment experiment(BenchCross());
@@ -26,15 +26,23 @@ int main() {
 
   const double rates[] = {0.0, 0.01, 0.05, 0.10, 0.25, 0.50};
 
-  TablePrinter table({"fault rate", "NAE", "faults", "rejected", "sanitized",
-                      "clamped", "repaired"});
-  double clean_nae = 0.0;
+  std::vector<ExperimentConfig> configs;
   for (double rate : rates) {
     ExperimentConfig config = base;
     config.faults.rate = rate;
-    ExperimentResult r = experiment.Run(config);
-    if (rate == 0.0) clean_nae = r.nae;
-    table.AddRow({FormatDouble(rate, 2), FormatDouble(r.nae, 4),
+    configs.push_back(config);
+  }
+  std::vector<ExperimentResult> results =
+      RunSweep(experiment, configs, scale.threads);
+
+  TablePrinter table({"fault rate", "NAE", "faults", "rejected", "sanitized",
+                      "clamped", "repaired"});
+  double clean_nae = 0.0;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    if (configs[i].faults.rate == 0.0) clean_nae = r.nae;
+    table.AddRow({FormatDouble(configs[i].faults.rate, 2),
+                  FormatDouble(r.nae, 4),
                   FormatSize(r.faults_injected),
                   FormatSize(r.robustness.rejected_queries),
                   FormatSize(r.robustness.sanitized_queries),

@@ -10,11 +10,11 @@
 #include "histogram/stholes.h"
 #include "init/initializer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Subspace-bucket census over training, Sky[1%]", scale);
 
   Experiment experiment(BenchSky(scale));

@@ -9,13 +9,14 @@
 
 #include "bench_common.h"
 
+#include "core/thread_pool.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Table 2 — MineClus parameters on Sky, 100 buckets", scale);
 
   Experiment experiment(BenchSky(scale));
@@ -33,8 +34,10 @@ int main() {
       {0.01, 0.30, 0.05, 0.31},
   };
 
-  TablePrinter table({"alpha", "beta", "width", "NAE", "NAE (paper)",
-                      "clusters", "clustering s", "sim s"});
+  // One cell per parameter row plus the paper's uninitialized reference
+  // point, swept concurrently: every row clusters with different MineClus
+  // parameters, so the sweep parallelizes the dominant clustering cost.
+  std::vector<ExperimentConfig> configs;
   for (const Row& row : rows) {
     ExperimentConfig config;
     config.buckets = 100;
@@ -45,11 +48,28 @@ int main() {
     config.mineclus.alpha = row.alpha;
     config.mineclus.beta = row.beta;
     config.mineclus.width_fraction = row.width_fraction;
+    configs.push_back(config);
+  }
+  ExperimentConfig uninit;
+  uninit.buckets = 100;
+  uninit.train_queries = scale.train_queries;
+  uninit.sim_queries = scale.sim_queries;
+  uninit.volume_fraction = 0.01;
+  configs.push_back(uninit);
 
-    auto start = std::chrono::steady_clock::now();
-    ExperimentResult result = experiment.Run(config);
-    (void)start;
+  auto sweep_start = std::chrono::steady_clock::now();
+  std::vector<ExperimentResult> results =
+      RunSweep(experiment, configs, scale.threads);
+  double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
 
+  TablePrinter table({"alpha", "beta", "width", "NAE", "NAE (paper)",
+                      "clusters", "clustering s", "sim s"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const ExperimentResult& result = results[i];
     table.AddRow({FormatDouble(row.alpha, 2), FormatDouble(row.beta, 2),
                   FormatDouble(row.width_fraction, 3),
                   FormatDouble(result.nae, 3),
@@ -60,14 +80,13 @@ int main() {
   }
   table.Print();
 
-  // The paper's reference point: uninitialized STHoles error on Sky.
-  ExperimentConfig uninit;
-  uninit.buckets = 100;
-  uninit.train_queries = scale.train_queries;
-  uninit.sim_queries = scale.sim_queries;
-  uninit.volume_fraction = 0.01;
-  ExperimentResult base = experiment.Run(uninit);
-  std::printf("\nuninitialized reference NAE: %.3f (paper: 0.62)\n", base.nae);
+  const ExperimentResult& base = results.back();
+  size_t threads = scale.threads == 0 ? DefaultThreadCount() : scale.threads;
+  std::printf("\nsweep wall-clock: %.2f s for %zu cells at --threads %zu%s\n",
+              sweep_seconds, configs.size(), threads,
+              threads == 1 ? " (the serial baseline for speedup runs)"
+                           : " (compare against --threads 1 for the speedup)");
+  std::printf("uninitialized reference NAE: %.3f (paper: 0.62)\n", base.nae);
   std::printf("expected shape: higher alpha -> faster clustering, worse "
               "error; all initialized rows beat the uninitialized "
               "reference.\n");

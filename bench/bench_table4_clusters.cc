@@ -23,11 +23,11 @@ std::string DimsToString(const std::vector<size_t>& dims) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Table 4 — clusters found in Sky", scale);
 
   Experiment experiment(BenchSky(scale));

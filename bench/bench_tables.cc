@@ -5,11 +5,11 @@
 
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale();
+  Scale scale = GetScale(argc, argv);
   PrintBanner("Tables 1 and 3 — dataset inventory", scale);
 
   TablePrinter table({"dataset", "type", "dims", "tuples (bench)",

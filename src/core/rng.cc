@@ -6,6 +6,17 @@
 
 namespace sthist {
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t role) {
+  return SplitMix64(SplitMix64(seed) + role);
+}
+
 double Rng::Uniform(double lo, double hi) {
   STHIST_DCHECK(lo <= hi);
   std::uniform_real_distribution<double> dist(lo, hi);

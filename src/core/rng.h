@@ -7,6 +7,21 @@
 
 namespace sthist {
 
+/// SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom
+/// number generators"): a bijective 64-bit mixer whose outputs pass
+/// BigCrush. Used to derive independent seed streams from structured
+/// inputs.
+uint64_t SplitMix64(uint64_t x);
+
+/// Derives the seed for one named random stream from a base seed.
+///
+/// Consumers that need several independent streams per experiment (training
+/// workload, simulation workload, ...) must NOT use `seed + k`: a sweep
+/// over consecutive base seeds would then alias one cell's training stream
+/// with another cell's evaluation stream. Double-mixing keeps every
+/// (seed, role) pair far from every other in seed space.
+uint64_t DeriveSeed(uint64_t seed, uint64_t role);
+
 /// Deterministic random number generator used across the library.
 ///
 /// Thin wrapper around std::mt19937_64 with the handful of draws the

@@ -1,0 +1,75 @@
+#ifndef STHIST_CORE_THREAD_POOL_H_
+#define STHIST_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sthist {
+
+/// Worker count that "auto" (threads = 0) resolves to: the hardware
+/// concurrency, or 1 when the runtime cannot determine it.
+size_t DefaultThreadCount();
+
+/// Fixed-size pool of worker threads draining one shared FIFO queue.
+///
+/// Deliberately simple — no work stealing, no priorities: the experiment
+/// grid's cells are coarse (each runs a full train/simulate loop), so a
+/// single shared queue keeps every worker busy without any of the
+/// complexity. Tasks must not throw; use ParallelFor for loops whose body
+/// may fail.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (0 = DefaultThreadCount()).
+  explicit ThreadPool(size_t threads = 0);
+
+  /// Waits for queued tasks to finish, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running. With a single
+  /// submitting thread this is a completion barrier for everything
+  /// submitted so far.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // Signals workers: task or stop.
+  std::condition_variable idle_cv_;  // Signals Wait(): pool drained.
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;  // Tasks currently executing.
+  bool stop_ = false;
+};
+
+/// Calls `fn(i)` for every i in [0, n), distributing indices across the
+/// pool's workers via a shared cursor, and blocks until all calls return.
+/// `fn` must be safe to call concurrently from multiple threads; writes to
+/// disjoint, index-owned slots need no further synchronization. The first
+/// exception thrown by `fn` (if any) is rethrown on the calling thread after
+/// the loop drains. Runs inline on the calling thread when the pool has one
+/// worker or n <= 1.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// Convenience overload with a transient pool of `threads` workers
+/// (0 = DefaultThreadCount()).
+void ParallelFor(size_t n, size_t threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace sthist
+
+#endif  // STHIST_CORE_THREAD_POOL_H_

@@ -1,9 +1,12 @@
 #include "eval/runner.h"
 
 #include <chrono>
+#include <limits>
 #include <optional>
 
 #include "core/check.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
 #include "eval/metrics.h"
 #include "histogram/census.h"
 #include "histogram/trivial.h"
@@ -17,6 +20,11 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
                                        start)
       .count();
 }
+
+// Roles for DeriveSeed: each experiment cell owns two independent random
+// streams keyed off its single workload_seed.
+constexpr uint64_t kTrainStream = 0;
+constexpr uint64_t kSimStream = 1;
 
 }  // namespace
 
@@ -34,18 +42,37 @@ bool Experiment::SameMineClusConfig(const MineClusConfig& a,
          a.merge_similar == b.merge_similar && a.seed == b.seed;
 }
 
+const Experiment::ClusterCacheEntry& Experiment::ClusterEntry(
+    const MineClusConfig& config) {
+  ClusterCacheEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(cluster_cache_mutex_);
+    for (ClusterCacheEntry& candidate : cluster_cache_) {
+      if (SameMineClusConfig(candidate.config, config)) {
+        entry = &candidate;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      entry = &cluster_cache_.emplace_back();
+      entry->config = config;
+    }
+  }
+  // Cluster outside the cache-wide lock so distinct configs mine in
+  // parallel; the entry's once_flag makes concurrent same-config callers
+  // wait for the single clustering run instead of duplicating it. Safe
+  // because deque entries never relocate.
+  std::call_once(entry->once, [&] {
+    auto start = std::chrono::steady_clock::now();
+    entry->clusters = RunMineClus(generated_.data, generated_.domain, config);
+    entry->seconds = SecondsSince(start);
+  });
+  return *entry;
+}
+
 const std::vector<SubspaceCluster>& Experiment::Clusters(
     const MineClusConfig& config) {
-  for (const ClusterCacheEntry& entry : cluster_cache_) {
-    if (SameMineClusConfig(entry.config, config)) return entry.clusters;
-  }
-  auto start = std::chrono::steady_clock::now();
-  ClusterCacheEntry entry;
-  entry.config = config;
-  entry.clusters = RunMineClus(generated_.data, generated_.domain, config);
-  entry.seconds = SecondsSince(start);
-  cluster_cache_.push_back(std::move(entry));
-  return cluster_cache_.back().clusters;
+  return ClusterEntry(config).clusters;
 }
 
 std::pair<Workload, Workload> Experiment::MakeWorkloads(
@@ -54,12 +81,16 @@ std::pair<Workload, Workload> Experiment::MakeWorkloads(
   wc.volume_fraction = config.volume_fraction;
   wc.centers = config.centers;
 
+  // Train and sim streams are hash-derived from (workload_seed, role), not
+  // workload_seed and workload_seed + 1: with the +1 scheme, a sweep over
+  // consecutive seeds evaluated one cell on the exact workload another cell
+  // trained on (train/test contamination).
   wc.num_queries = config.train_queries;
-  wc.seed = config.workload_seed;
+  wc.seed = DeriveSeed(config.workload_seed, kTrainStream);
   Workload train = MakeWorkload(generated_.domain, wc, &generated_.data);
 
   wc.num_queries = config.sim_queries;
-  wc.seed = config.workload_seed + 1;
+  wc.seed = DeriveSeed(config.workload_seed, kSimStream);
   Workload sim = MakeWorkload(generated_.domain, wc, &generated_.data);
   return {std::move(train), std::move(sim)};
 }
@@ -80,16 +111,13 @@ ExperimentResult Experiment::RunWithWorkloads(const ExperimentConfig& config,
   STHoles hist(generated_.domain, total_tuples(), hist_config);
 
   if (config.initialize) {
-    const std::vector<SubspaceCluster>& clusters = Clusters(config.mineclus);
+    const ClusterCacheEntry& entry = ClusterEntry(config.mineclus);
     // Clusters are cached; report the cost of the original run.
-    for (const ClusterCacheEntry& entry : cluster_cache_) {
-      if (SameMineClusConfig(entry.config, config.mineclus)) {
-        result.clustering_seconds = entry.seconds;
-      }
-    }
-    result.clusters_found = clusters.size();
-    result.clusters_fed = InitializeHistogram(
-        clusters, generated_.domain, executor_, config.initializer, &hist);
+    result.clustering_seconds = entry.seconds;
+    result.clusters_found = entry.clusters.size();
+    result.clusters_fed =
+        InitializeHistogram(entry.clusters, generated_.domain, executor_,
+                            config.initializer, &hist);
   }
 
   // With fault injection on, train on corrupted query boxes and learn from
@@ -118,8 +146,11 @@ ExperimentResult Experiment::RunWithWorkloads(const ExperimentConfig& config,
 
   TrivialHistogram trivial(generated_.domain, total_tuples());
   result.trivial_mae = MeanAbsoluteError(trivial, sim, executor_);
-  result.nae =
-      result.trivial_mae > 0.0 ? result.mae / result.trivial_mae : 0.0;
+  // A zero-error trivial baseline leaves nothing to normalize against;
+  // report NaN (rendered "n/a") rather than a fake perfect 0.0.
+  result.nae = result.trivial_mae > 0.0
+                   ? result.mae / result.trivial_mae
+                   : std::numeric_limits<double>::quiet_NaN();
 
   result.final_buckets = hist.bucket_count();
   result.subspace_buckets = CensusSubspaceBuckets(hist).subspace_buckets;
@@ -128,6 +159,18 @@ ExperimentResult Experiment::RunWithWorkloads(const ExperimentConfig& config,
     result.faults_injected = faulty_oracle->faults_injected();
   }
   return result;
+}
+
+std::vector<ExperimentResult> RunSweep(Experiment& experiment,
+                                       std::span<const ExperimentConfig> configs,
+                                       size_t threads) {
+  std::vector<ExperimentResult> results(configs.size());
+  // Index-ordered aggregation: worker i writes only slot i, so the output
+  // order (and content — see the determinism contract in the header) is
+  // independent of scheduling.
+  ParallelFor(configs.size(), threads,
+              [&](size_t i) { results[i] = experiment.Run(configs[i]); });
+  return results;
 }
 
 }  // namespace sthist

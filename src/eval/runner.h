@@ -1,7 +1,10 @@
 #ifndef STHIST_EVAL_RUNNER_H_
 #define STHIST_EVAL_RUNNER_H_
 
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "clustering/mineclus.h"
@@ -50,7 +53,10 @@ struct ExperimentConfig {
 struct ExperimentResult {
   double mae = 0.0;          // Mean absolute error over simulation queries.
   double trivial_mae = 0.0;  // Same for the trivial histogram H0.
-  double nae = 0.0;          // mae / trivial_mae (paper eq. 10).
+  /// mae / trivial_mae (paper eq. 10). NaN when the trivial baseline has
+  /// zero error (nothing to normalize against) — a degenerate cell must not
+  /// masquerade as a perfect histogram. Renderers print it as "n/a".
+  double nae = 0.0;
   size_t final_buckets = 0;
   size_t subspace_buckets = 0;  // Census after simulation.
   size_t clusters_found = 0;
@@ -69,6 +75,13 @@ struct ExperimentResult {
 /// Shared state for a family of experiment cells over one dataset: owns the
 /// dataset, its executor (k-d tree), and caches MineClus outputs per
 /// distinct parameter set so bucket-budget sweeps don't re-cluster.
+///
+/// Thread safety: Run/RunWithWorkloads/Clusters/MakeWorkloads may be called
+/// concurrently from any number of threads. The dataset and executor are
+/// read-only after construction; the cluster cache is the only shared
+/// mutable state and is mutex-guarded, with deque storage so returned
+/// references stay valid for the Experiment's lifetime (RunSweep relies on
+/// this).
 class Experiment {
  public:
   explicit Experiment(GeneratedData generated);
@@ -86,7 +99,10 @@ class Experiment {
 
   /// MineClus result for `config`, cached per distinct parameter set.
   /// The accompanying wall-clock cost of the (uncached) run is stored and
-  /// reported through ExperimentResult::clustering_seconds.
+  /// reported through ExperimentResult::clustering_seconds. The returned
+  /// reference stays valid for the Experiment's lifetime: entries live in a
+  /// deque and are never moved or evicted. Concurrent callers with the same
+  /// config cluster once; the others block until the entry is ready.
   const std::vector<SubspaceCluster>& Clusters(const MineClusConfig& config);
 
   /// Builds workloads from the config and runs one cell.
@@ -105,6 +121,7 @@ class Experiment {
  private:
   struct ClusterCacheEntry {
     MineClusConfig config;
+    std::once_flag once;  // Guards the one-time MineClus run below.
     std::vector<SubspaceCluster> clusters;
     double seconds = 0.0;
   };
@@ -112,10 +129,34 @@ class Experiment {
   static bool SameMineClusConfig(const MineClusConfig& a,
                                  const MineClusConfig& b);
 
+  /// Finds or creates the cache entry for `config` and ensures its
+  /// clustering has run (blocking on a concurrent run if one is in flight).
+  const ClusterCacheEntry& ClusterEntry(const MineClusConfig& config);
+
   GeneratedData generated_;
   Executor executor_;
-  std::vector<ClusterCacheEntry> cluster_cache_;
+  /// Deque so entries never relocate: returned references survive later
+  /// insertions (a std::vector here dangled them on reallocation). Guarded
+  /// by cluster_cache_mutex_; the per-entry once_flag lets distinct configs
+  /// cluster concurrently without holding the cache-wide lock.
+  std::deque<ClusterCacheEntry> cluster_cache_;
+  std::mutex cluster_cache_mutex_;
 };
+
+/// Runs every cell of `configs` and returns their results in input order,
+/// fanning the cells out over `threads` workers (0 = hardware concurrency,
+/// 1 = inline on the calling thread).
+///
+/// Determinism contract: every cell derives all its randomness from its own
+/// config (workload seeds, MineClus seed, fault seed), so each slot of the
+/// returned vector is bitwise-identical regardless of thread count or
+/// scheduling — except the wall-clock fields (clustering_seconds,
+/// train_seconds, sim_seconds), which measure real time and vary run to
+/// run. Shared state is the Experiment's read-only dataset/executor plus
+/// its mutex-guarded cluster cache.
+std::vector<ExperimentResult> RunSweep(Experiment& experiment,
+                                       std::span<const ExperimentConfig> configs,
+                                       size_t threads = 0);
 
 }  // namespace sthist
 

@@ -1,6 +1,7 @@
 #include "eval/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "core/check.h"
@@ -52,6 +53,7 @@ std::string TablePrinter::ToString() const {
 void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
 
 std::string FormatDouble(double value, int precision) {
+  if (std::isnan(value)) return "n/a";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
   return buf;

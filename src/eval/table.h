@@ -28,6 +28,8 @@ class TablePrinter {
 };
 
 /// Formats a double with `precision` digits after the decimal point.
+/// NaN renders as "n/a" (degenerate metrics, e.g. NAE with a zero-error
+/// trivial baseline).
 std::string FormatDouble(double value, int precision);
 
 /// Formats a size_t.

@@ -8,6 +8,32 @@
 namespace sthist {
 namespace {
 
+TEST(RngTest, SplitMix64MatchesReferenceVectors) {
+  // Reference outputs of the canonical SplitMix64 (state 0, 1, 2 advanced
+  // once), e.g. from the Vigna reference implementation.
+  EXPECT_EQ(SplitMix64(0), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(SplitMix64(1), 0x910A2DEC89025CC1ull);
+  EXPECT_EQ(SplitMix64(2), 0x975835DE1C9756CEull);
+}
+
+TEST(RngTest, DeriveSeedSeparatesRolesAndSeeds) {
+  // No (seed, role) pair in a realistic sweep range may collide — in
+  // particular DeriveSeed(s, 1) != DeriveSeed(s + 1, 0), the aliasing that
+  // `seed + 1` stream derivation suffered from.
+  std::set<uint64_t> seen;
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    for (uint64_t role = 0; role < 4; ++role) {
+      EXPECT_TRUE(seen.insert(DeriveSeed(seed, role)).second)
+          << "collision at seed=" << seed << " role=" << role;
+    }
+  }
+}
+
+TEST(RngTest, DeriveSeedIsDeterministic) {
+  EXPECT_EQ(DeriveSeed(21, 0), DeriveSeed(21, 0));
+  EXPECT_NE(DeriveSeed(21, 0), DeriveSeed(21, 1));
+}
+
 TEST(RngTest, DeterministicForSameSeed) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) {

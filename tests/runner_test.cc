@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace sthist {
 namespace {
 
@@ -61,6 +63,88 @@ TEST(RunnerTest, ClusterCacheReturnsSameObject) {
   mc.alpha = 0.07;
   const std::vector<SubspaceCluster>& c = experiment.Clusters(mc);
   EXPECT_NE(&a, &c) << "different parameters re-cluster";
+}
+
+TEST(RunnerTest, ClusterCacheReferencesSurviveNewEntries) {
+  // Regression: the cache used std::vector storage, so the reference
+  // returned for the first config dangled as soon as enough later configs
+  // forced a reallocation — a use-after-free that ASan flags on the reads
+  // below. Deque storage keeps every returned reference valid.
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 800;
+  data_config.noise_tuples = 160;
+  Experiment experiment(MakeCross(data_config));
+
+  MineClusConfig first_config;
+  first_config.alpha = 0.05;
+  const std::vector<SubspaceCluster>& first =
+      experiment.Clusters(first_config);
+  const size_t first_count = first.size();
+
+  // Interleave several distinct configs to grow the cache well past any
+  // initial vector capacity.
+  for (int i = 1; i <= 6; ++i) {
+    MineClusConfig other = first_config;
+    other.alpha = 0.05 + 0.01 * i;
+    experiment.Clusters(other);
+    // Read through the old reference after every insertion.
+    ASSERT_EQ(first.size(), first_count) << "after " << i << " insertions";
+    for (const SubspaceCluster& cluster : first) {
+      EXPECT_FALSE(cluster.relevant_dims.empty());
+    }
+  }
+  EXPECT_EQ(&first, &experiment.Clusters(first_config))
+      << "the entry must still be the cached one, not a recomputation";
+}
+
+TEST(RunnerTest, DegenerateTrivialBaselineReportsNanNae) {
+  // Full-domain queries: the trivial histogram answers them exactly, so
+  // trivial_mae == 0 and there is nothing to normalize against. The old
+  // behaviour reported nae == 0.0 — indistinguishable from a perfect
+  // histogram; it must be NaN instead.
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 500;
+  data_config.noise_tuples = 100;
+  Experiment experiment(MakeCross(data_config));
+
+  ExperimentConfig config;
+  config.buckets = 10;
+  config.train_queries = 20;
+  config.sim_queries = 20;
+  config.volume_fraction = 1.0;  // Every query covers the whole domain.
+  ExperimentResult result = experiment.Run(config);
+  EXPECT_EQ(result.trivial_mae, 0.0);
+  EXPECT_TRUE(std::isnan(result.nae))
+      << "nae=" << result.nae << " must be NaN, not a fake perfect score";
+}
+
+TEST(RunnerTest, ConsecutiveWorkloadSeedsDoNotAlias) {
+  // Regression: sim used workload_seed + 1, so cell N's evaluation stream
+  // was exactly cell N+1's training stream — a sweep over consecutive
+  // seeds trained on its own test set. Streams are hash-derived now.
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 400;
+  data_config.noise_tuples = 80;
+  Experiment experiment(MakeCross(data_config));
+
+  ExperimentConfig cell_a = SmallConfig();
+  cell_a.train_queries = 50;
+  cell_a.sim_queries = 50;
+  cell_a.workload_seed = 21;
+  ExperimentConfig cell_b = cell_a;
+  cell_b.workload_seed = 22;
+
+  auto [train_a, sim_a] = experiment.MakeWorkloads(cell_a);
+  auto [train_b, sim_b] = experiment.MakeWorkloads(cell_b);
+
+  // The old scheme had sim_a == train_b query-for-query.
+  ASSERT_EQ(sim_a.size(), train_b.size());
+  size_t shared = 0;
+  for (size_t i = 0; i < sim_a.size(); ++i) {
+    if (sim_a[i] == train_b[i]) ++shared;
+  }
+  EXPECT_EQ(shared, 0u)
+      << "cell 21's evaluation queries reappear in cell 22's training set";
 }
 
 TEST(RunnerTest, WorkloadsAreDeterministicPerConfig) {

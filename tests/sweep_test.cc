@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "data/generators.h"
+#include "eval/runner.h"
+
+namespace sthist {
+namespace {
+
+GeneratedData SmallCross() {
+  CrossConfig config;
+  config.tuples_per_cluster = 1500;
+  config.noise_tuples = 300;
+  return MakeCross(config);
+}
+
+// A mixed grid: uninitialized cells, initialized cells with two distinct
+// MineClus parameter sets (exercising the shared cluster cache), a faulty
+// cell, and a frozen/degenerate cell.
+std::vector<ExperimentConfig> MixedGrid() {
+  std::vector<ExperimentConfig> configs;
+
+  ExperimentConfig base;
+  base.buckets = 25;
+  base.train_queries = 80;
+  base.sim_queries = 80;
+
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    ExperimentConfig uninit = base;
+    uninit.workload_seed = seed;
+    configs.push_back(uninit);
+
+    ExperimentConfig init = uninit;
+    init.initialize = true;
+    init.mineclus.alpha = 0.05;
+    configs.push_back(init);
+
+    init.mineclus.alpha = 0.08;  // Second distinct cluster-cache entry.
+    configs.push_back(init);
+  }
+
+  ExperimentConfig faulty = base;
+  faulty.faults.rate = 0.1;
+  configs.push_back(faulty);
+
+  ExperimentConfig frozen = base;
+  frozen.train_queries = 0;
+  frozen.learn_during_sim = false;
+  configs.push_back(frozen);
+
+  return configs;
+}
+
+// Bitwise equality over the deterministic result fields. The wall-clock
+// fields (clustering/train/sim seconds) are excluded by contract.
+void ExpectSameResults(const std::vector<ExperimentResult>& a,
+                       const std::vector<ExperimentResult>& b,
+                       const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(std::string(label) + ", cell " + std::to_string(i));
+    EXPECT_EQ(a[i].mae, b[i].mae);
+    EXPECT_EQ(a[i].trivial_mae, b[i].trivial_mae);
+    EXPECT_EQ(a[i].nae, b[i].nae);
+    EXPECT_EQ(a[i].final_buckets, b[i].final_buckets);
+    EXPECT_EQ(a[i].subspace_buckets, b[i].subspace_buckets);
+    EXPECT_EQ(a[i].clusters_found, b[i].clusters_found);
+    EXPECT_EQ(a[i].clusters_fed, b[i].clusters_fed);
+    EXPECT_EQ(a[i].robustness.rejected_queries,
+              b[i].robustness.rejected_queries);
+    EXPECT_EQ(a[i].robustness.sanitized_queries,
+              b[i].robustness.sanitized_queries);
+    EXPECT_EQ(a[i].robustness.clamped_feedback,
+              b[i].robustness.clamped_feedback);
+    EXPECT_EQ(a[i].robustness.repaired_buckets,
+              b[i].robustness.repaired_buckets);
+    EXPECT_EQ(a[i].faults_injected, b[i].faults_injected);
+  }
+}
+
+TEST(RunSweepTest, ResultsIdenticalAcrossThreadCounts) {
+  std::vector<ExperimentConfig> configs = MixedGrid();
+
+  // Fresh Experiment per thread count so cache warm-up order can't help:
+  // each run must reproduce every cell from scratch.
+  Experiment serial(SmallCross());
+  std::vector<ExperimentResult> one = RunSweep(serial, configs, 1);
+
+  Experiment two_threads(SmallCross());
+  std::vector<ExperimentResult> two = RunSweep(two_threads, configs, 2);
+
+  Experiment eight_threads(SmallCross());
+  std::vector<ExperimentResult> eight = RunSweep(eight_threads, configs, 8);
+
+  ExpectSameResults(one, two, "1 vs 2 threads");
+  ExpectSameResults(one, eight, "1 vs 8 threads");
+}
+
+TEST(RunSweepTest, MatchesSequentialRunOnSharedExperiment) {
+  // A sweep on an Experiment that already served cells (warm cache) agrees
+  // with direct Run calls.
+  Experiment experiment(SmallCross());
+  std::vector<ExperimentConfig> configs = MixedGrid();
+  std::vector<ExperimentResult> sequential;
+  for (const ExperimentConfig& config : configs) {
+    sequential.push_back(experiment.Run(config));
+  }
+  std::vector<ExperimentResult> swept = RunSweep(experiment, configs, 8);
+  ExpectSameResults(sequential, swept, "sequential vs swept");
+}
+
+TEST(RunSweepTest, DegenerateCellReportsNanNae) {
+  // All-noise dataset with tiny queries can't go degenerate; instead build
+  // a workload whose trivial baseline is exact: an empty-ish uniform cell
+  // grid is hard to force, so assert the contract directly on a frozen
+  // zero-train cell: nae is finite here, NaN only when trivial_mae == 0.
+  // The unit-level NaN path is covered in runner_test; this guards the
+  // sweep path end-to-end: no cell may report nae == 0 with nonzero mae.
+  Experiment experiment(SmallCross());
+  std::vector<ExperimentResult> results =
+      RunSweep(experiment, MixedGrid(), 4);
+  for (const ExperimentResult& r : results) {
+    if (r.mae > 0.0) {
+      EXPECT_TRUE(std::isnan(r.nae) || r.nae > 0.0)
+          << "a nonzero-error cell must not report a perfect NAE";
+    }
+  }
+}
+
+// Stress: many threads hammer one Experiment's shared executor and cluster
+// cache at once — same configs, distinct configs, and full cells mixed.
+// Run under TSan/ASan in CI, this is the structural race detector for the
+// parallel layer.
+TEST(RunSweepTest, ConcurrentClusterCacheAndExecutorStress) {
+  Experiment experiment(SmallCross());
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIterations = 4;
+  std::vector<std::thread> threads;
+  std::vector<const std::vector<SubspaceCluster>*> first_refs(kThreads,
+                                                              nullptr);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kIterations; ++i) {
+        // Rotate over a few distinct MineClus configs so threads both race
+        // on the same entry and append new entries concurrently.
+        MineClusConfig mc;
+        mc.alpha = 0.04 + 0.01 * static_cast<double>((t + i) % 4);
+        const std::vector<SubspaceCluster>& clusters =
+            experiment.Clusters(mc);
+        if (first_refs[t] == nullptr && mc.alpha == 0.04) {
+          first_refs[t] = &clusters;
+        }
+
+        // Hammer the shared read-only executor.
+        Box probe = experiment.domain();
+        (void)experiment.executor().Count(probe);
+
+        // And a couple of full cells, initialized + faulty.
+        ExperimentConfig config;
+        config.buckets = 15;
+        config.train_queries = 20;
+        config.sim_queries = 20;
+        config.workload_seed = 100 + t;
+        config.initialize = (i % 2 == 0);
+        config.mineclus = mc;
+        if (i % 3 == 0) config.faults.rate = 0.2;
+        ExperimentResult result = experiment.Run(config);
+        EXPECT_GE(result.trivial_mae, 0.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Every reference captured for the same config aliases one cache entry,
+  // still valid after all concurrent insertions.
+  MineClusConfig mc;
+  mc.alpha = 0.04;
+  const std::vector<SubspaceCluster>& canonical = experiment.Clusters(mc);
+  for (const auto* ref : first_refs) {
+    if (ref != nullptr) {
+      EXPECT_EQ(ref, &canonical);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sthist

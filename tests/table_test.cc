@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace sthist {
 namespace {
 
@@ -42,6 +44,13 @@ TEST(TableTest, FormatHelpers) {
   EXPECT_EQ(FormatDouble(2.0, 0), "2");
   EXPECT_EQ(FormatSize(42), "42");
   EXPECT_EQ(FormatSize(0), "0");
+}
+
+TEST(TableTest, NanRendersAsNotAvailable) {
+  // Degenerate metrics (NAE with a zero-error trivial baseline) are NaN
+  // and must render as "n/a", never as a number.
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN(), 3),
+            "n/a");
 }
 
 }  // namespace

@@ -1,0 +1,100 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace sthist {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not deadlock.
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (batch + 1) * 20);
+  }
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    std::vector<int> visits(1000, 0);
+    ParallelFor(visits.size(), threads,
+                [&](size_t i) { visits[i] += 1; });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 1000)
+        << "threads=" << threads;
+    for (int v : visits) EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(ParallelForTest, ZeroAndOneElementLoops) {
+  int calls = 0;
+  ParallelFor(size_t{0}, 8, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(size_t{1}, 8, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, SlotWritesAreDeterministic) {
+  // Index-owned slot writes must produce the same output at any thread
+  // count — the property RunSweep's aggregation relies on.
+  auto run = [](size_t threads) {
+    std::vector<size_t> out(500);
+    ParallelFor(out.size(), threads, [&](size_t i) { out[i] = i * i; });
+    return out;
+  };
+  std::vector<size_t> serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelForTest, PoolOverloadSharesOnePool) {
+  ThreadPool pool(4);
+  std::atomic<size_t> sum{0};
+  ParallelFor(&pool, 100, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+  // The pool survives for another loop.
+  std::atomic<size_t> count{0};
+  ParallelFor(&pool, 10, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10u);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  EXPECT_THROW(
+      ParallelFor(64, 4,
+                  [&](size_t i) {
+                    if (i == 13) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sthist

@@ -7,24 +7,29 @@
 //   sthist_cli experiment --dataset cross --buckets 100 --init
 //   sthist_cli experiment --data my.csv --buckets 200 --train 1000 --sim 1000
 //   sthist_cli experiment --dataset gauss --fault-rate 0.05 --fault-seed 7
+//   sthist_cli sweep --dataset cross --buckets 50,100,250 --seeds 21,22
+//       --both --threads 8
 //   sthist_cli inspect --dataset cross --buckets 20 --train 100
 //
 // Exit codes: 0 success; 1 runtime failure (unreadable/malformed input,
 // failed write — the Status message is printed to stderr); 2 usage error
 // (unknown subcommand or flag).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <initializer_list>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "clustering/clique.h"
 #include "clustering/clusterer.h"
 #include "clustering/doc.h"
 #include "clustering/mineclus.h"
 #include "core/status.h"
+#include "core/thread_pool.h"
 #include "data/csv.h"
 #include "data/generators.h"
 #include "eval/runner.h"
@@ -241,6 +246,26 @@ StatusOr<std::unique_ptr<SubspaceClusterer>> ClustererFromFlags(
                           " (try mineclus, clique, doc)");
 }
 
+// Parses a comma-separated list of non-negative integers ("50,100,250").
+StatusOr<std::vector<size_t>> ParseSizeList(const std::string& text) {
+  std::vector<size_t> values;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    std::string item = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    char* end = nullptr;
+    unsigned long value = std::strtoul(item.c_str(), &end, 10);
+    if (item.empty() || end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("malformed list item: '" + item + "'");
+    }
+    values.push_back(static_cast<size_t>(value));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return values;
+}
+
 // ---------------------------------------------------------------------------
 // Subcommands
 // ---------------------------------------------------------------------------
@@ -345,6 +370,90 @@ Status RunExperiment(const Flags& flags) {
   return Status::Ok();
 }
 
+// Runs a grid of experiment cells (bucket budgets x workload seeds x
+// variants) concurrently via RunSweep and prints one row per cell. The
+// variants are uninitialized by default, initialized with --init, or both
+// with --both.
+Status RunSweepCommand(const Flags& flags) {
+  STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
+      {STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS, STHIST_FAULT_FLAGS,
+       "buckets", "seeds", "train", "sim", "volume", "init", "both",
+       "reversed", "freeze", "data-centers", "threads"}));
+  StatusOr<GeneratedData> g = ResolveDataset(flags);
+  if (!g.ok()) return g.status();
+  STHIST_RETURN_IF_ERROR(MaybeInjectDataFaults(flags, &*g));
+  Experiment experiment(*std::move(g));
+
+  StatusOr<std::vector<size_t>> buckets =
+      ParseSizeList(flags.Str("buckets", "50,100,250"));
+  if (!buckets.ok()) return buckets.status();
+  StatusOr<std::vector<size_t>> seeds =
+      ParseSizeList(flags.Str("seeds", "21"));
+  if (!seeds.ok()) return seeds.status();
+  if (buckets->empty() || seeds->empty()) {
+    return Status::InvalidArgument("--buckets and --seeds must be non-empty");
+  }
+
+  size_t threads = flags.Size("threads", 0);  // 0 = hardware concurrency.
+
+  ExperimentConfig base;
+  base.train_queries = flags.Size("train", 400);
+  base.sim_queries = flags.Size("sim", 400);
+  base.volume_fraction = flags.Num("volume", 0.01);
+  base.initializer.reversed = flags.Has("reversed");
+  base.learn_during_sim = !flags.Has("freeze");
+  base.mineclus = MineClusFromFlags(flags);
+  base.faults = FaultsFromFlags(flags);
+  if (flags.Has("data-centers")) base.centers = CenterDistribution::kData;
+  if (base.faults.rate < 0.0 || base.faults.rate > 1.0) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "--fault-rate must be in [0,1], got %g", base.faults.rate);
+  }
+
+  std::vector<bool> variants;
+  if (flags.Has("both")) {
+    variants = {false, true};
+  } else {
+    variants = {flags.Has("init")};
+  }
+
+  std::vector<ExperimentConfig> configs;
+  for (size_t seed : *seeds) {
+    for (size_t b : *buckets) {
+      for (bool init : variants) {
+        ExperimentConfig config = base;
+        config.workload_seed = seed;
+        config.buckets = b;
+        config.initialize = init;
+        configs.push_back(config);
+      }
+    }
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<ExperimentResult> results =
+      RunSweep(experiment, configs, threads);
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  TablePrinter table({"seed", "buckets", "init", "NAE", "final buckets",
+                      "subspace", "clusters fed"});
+  for (size_t i = 0; i < configs.size(); ++i) {
+    table.AddRow({FormatSize(configs[i].workload_seed),
+                  FormatSize(configs[i].buckets),
+                  configs[i].initialize ? "yes" : "no",
+                  FormatDouble(results[i].nae, 4),
+                  FormatSize(results[i].final_buckets),
+                  FormatSize(results[i].subspace_buckets),
+                  FormatSize(results[i].clusters_fed)});
+  }
+  table.Print();
+  std::printf("%zu cells in %.2f s (threads=%zu)\n", configs.size(), seconds,
+              threads == 0 ? DefaultThreadCount() : threads);
+  return Status::Ok();
+}
+
 Status RunInspect(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
       {STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS, "buckets", "train",
@@ -406,6 +515,9 @@ void PrintUsage() {
       "flags\n"
       "              fault injection: --fault-rate R --fault-seed S\n"
       "              --fault-noise F [--fault-data]\n"
+      "  sweep       run a grid of experiment cells across threads\n"
+      "              --buckets 50,100,250 --seeds 21,22 [--init|--both]\n"
+      "              --threads N (0 = all cores) + experiment flags\n"
       "  inspect     print the bucket tree after training\n"
       "              --buckets N --train N [--init] [--out hist.txt]\n"
       "\n"
@@ -435,6 +547,8 @@ int main(int argc, char** argv) {
     status = RunCluster(flags);
   } else if (command == "experiment") {
     status = RunExperiment(flags);
+  } else if (command == "sweep") {
+    status = RunSweepCommand(flags);
   } else if (command == "inspect") {
     status = RunInspect(flags);
   } else {
