@@ -38,16 +38,20 @@ struct Fixture {
   std::unique_ptr<STHoles> hist;
 };
 
-void BM_Estimate(benchmark::State& state) {
+Fixture& FixtureFor(int64_t buckets) {
   static Fixture* fixtures[4] = {nullptr, nullptr, nullptr, nullptr};
-  int slot = state.range(0) == 10    ? 0
-             : state.range(0) == 50  ? 1
-             : state.range(0) == 100 ? 2
-                                     : 3;
+  int slot = buckets == 10 ? 0 : buckets == 50 ? 1 : buckets == 100 ? 2 : 3;
   if (fixtures[slot] == nullptr) {
-    fixtures[slot] = new Fixture(static_cast<size_t>(state.range(0)));
+    fixtures[slot] = new Fixture(static_cast<size_t>(buckets));
   }
-  Fixture& f = *fixtures[slot];
+  return *fixtures[slot];
+}
+
+// Indexed path (the production Estimate, served through the bucket R-tree
+// after its lazy build).
+void BM_Estimate(benchmark::State& state) {
+  Fixture& f = FixtureFor(state.range(0));
+  (void)f.hist->EstimateBatch(f.queries, 1);  // Force the index build.
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(f.hist->Estimate(f.queries[i]));
@@ -57,6 +61,34 @@ void BM_Estimate(benchmark::State& state) {
       static_cast<double>(f.hist->bucket_count());
 }
 
+// Retained full-tree scan, the reference the indexed path must match
+// bitwise (see tests/index_differential_test.cc).
+void BM_EstimateLinear(benchmark::State& state) {
+  Fixture& f = FixtureFor(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.hist->EstimateLinear(f.queries[i]));
+    i = (i + 1) % f.queries.size();
+  }
+  state.counters["buckets"] =
+      static_cast<double>(f.hist->bucket_count());
+}
+
+// Whole-workload batch over hardware threads; reported time covers all 200
+// queries, so items_per_second is the comparable throughput number.
+void BM_EstimateBatch(benchmark::State& state) {
+  Fixture& f = FixtureFor(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.hist->EstimateBatch(f.queries, 0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.queries.size()));
+  state.counters["buckets"] =
+      static_cast<double>(f.hist->bucket_count());
+}
+
 BENCHMARK(BM_Estimate)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
+BENCHMARK(BM_EstimateLinear)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
+BENCHMARK(BM_EstimateBatch)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
 
 }  // namespace

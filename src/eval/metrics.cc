@@ -8,30 +8,38 @@
 namespace sthist {
 
 double MeanAbsoluteError(const Histogram& hist, const Workload& workload,
-                         const CardinalityOracle& oracle) {
+                         const CardinalityOracle& oracle, size_t threads) {
   STHIST_CHECK(!workload.empty());
+  // Estimates fan out; the |est - real| accumulation stays in workload
+  // order, so the sum is bitwise-identical at any thread count.
+  std::vector<double> estimates = hist.EstimateBatch(workload, threads);
   double total = 0.0;
-  for (const Box& q : workload) {
-    total += std::abs(hist.Estimate(q) - oracle.Count(q));
+  for (size_t i = 0; i < workload.size(); ++i) {
+    total += std::abs(estimates[i] - oracle.Count(workload[i]));
   }
   return total / static_cast<double>(workload.size());
 }
 
 double SimulateAndMeasure(Histogram* hist, const Workload& workload,
-                          const CardinalityOracle& oracle, bool learn) {
-  return SimulateAndMeasure(hist, workload, oracle, oracle, learn);
+                          const CardinalityOracle& oracle, bool learn,
+                          size_t threads) {
+  return SimulateAndMeasure(hist, workload, oracle, oracle, learn, threads);
 }
 
 double SimulateAndMeasure(Histogram* hist, const Workload& workload,
                           const CardinalityOracle& measure_oracle,
                           const CardinalityOracle& feedback_oracle,
-                          bool learn) {
+                          bool learn, size_t threads) {
   STHIST_CHECK(hist != nullptr);
   STHIST_CHECK(!workload.empty());
+  if (!learn) {
+    // Frozen histogram: pure measurement, so the estimates batch cleanly.
+    return MeanAbsoluteError(*hist, workload, measure_oracle, threads);
+  }
   double total = 0.0;
   for (const Box& q : workload) {
     total += std::abs(hist->Estimate(q) - measure_oracle.Count(q));
-    if (learn) hist->Refine(q, feedback_oracle);
+    hist->Refine(q, feedback_oracle);
   }
   return total / static_cast<double>(workload.size());
 }

@@ -1,0 +1,29 @@
+#include "histogram/histogram.h"
+
+#include "core/thread_pool.h"
+
+namespace sthist {
+
+namespace {
+
+// Below this many queries a transient thread pool costs more than the
+// estimates themselves; run inline regardless of the requested thread count.
+constexpr size_t kSerialBatchCutoff = 32;
+
+}  // namespace
+
+std::vector<double> Histogram::EstimateBatch(std::span<const Box> queries,
+                                             size_t threads) const {
+  std::vector<double> out(queries.size());
+  if (threads == 1 || queries.size() < kSerialBatchCutoff) {
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = Estimate(queries[i]);
+    return out;
+  }
+  // Slot i is written only by iteration i, so the output is bitwise
+  // independent of scheduling.
+  ParallelFor(queries.size(), threads,
+              [&](size_t i) { out[i] = Estimate(queries[i]); });
+  return out;
+}
+
+}  // namespace sthist

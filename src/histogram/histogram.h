@@ -2,6 +2,8 @@
 #define STHIST_HISTOGRAM_HISTOGRAM_H_
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "core/box.h"
 
@@ -60,6 +62,30 @@ class Histogram {
 
   /// Estimated number of tuples matching the range predicate `query`.
   virtual double Estimate(const Box& query) const = 0;
+
+  /// Reference estimation path: the plain linear bucket scan, kept alongside
+  /// any index-accelerated Estimate so differential tests (and suspicious
+  /// callers) can check the two agree bitwise. The default forwards to
+  /// Estimate; implementations with an index-accelerated Estimate override
+  /// this with the original scan.
+  virtual double EstimateLinear(const Box& query) const {
+    return Estimate(query);
+  }
+
+  /// Estimates every query in `queries`, returned in input order.
+  ///
+  /// `threads` fans the batch out over a transient thread pool (0 = hardware
+  /// concurrency, 1 = inline on the calling thread); small batches always run
+  /// inline. Each slot is computed by an independent Estimate call, so the
+  /// result is bitwise-identical to a serial Estimate loop at any thread
+  /// count. Implementations may override to amortize per-batch work (e.g.
+  /// building a bucket index once up front).
+  ///
+  /// Thread safety: Estimate must be const-thread-safe for threads != 1,
+  /// which every implementation in this library is; concurrent Refine is not
+  /// allowed (same contract as RunSweep — see DESIGN.md §9).
+  virtual std::vector<double> EstimateBatch(std::span<const Box> queries,
+                                            size_t threads = 0) const;
 
   /// Query-feedback refinement hook, invoked after `query` has executed.
   /// `oracle` can count tuples in sub-rectangles of the query (and, for this

@@ -1,10 +1,13 @@
 #include "histogram/isomer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "core/check.h"
+#include "histogram/bucket_index.h"
 #include "histogram/robustness.h"
 
 namespace sthist {
@@ -13,7 +16,27 @@ struct IsomerHistogram::Bucket {
   Box box;
   double frequency = 0.0;
   std::vector<std::unique_ptr<Bucket>> children;
+  /// Region volume as of the last index (re)build; see STHoles::Bucket.
+  double cached_region = 0.0;
 };
+
+/// Spatial index over the bucket tree plus its build/validity state
+/// (mirrors STHoles::IndexState; see DESIGN.md §10).
+struct IsomerHistogram::IndexState {
+  std::mutex mutex;
+  BucketTreeIndex<Bucket> index;
+  std::atomic<bool> ready{false};
+  std::atomic<uint32_t> estimates_since_change{0};
+  std::atomic<size_t> rejected_estimates{0};
+};
+
+namespace {
+
+// Estimates that must repeat on an unchanged bucket tree before the lazy
+// index build triggers (matches STHoles).
+constexpr uint32_t kIndexBuildAfter = 2;
+
+}  // namespace
 
 IsomerHistogram::IsomerHistogram(const Box& domain, double total_tuples,
                                  const IsomerConfig& config)
@@ -25,6 +48,7 @@ IsomerHistogram::IsomerHistogram(const Box& domain, double total_tuples,
   root_->box = domain;
   root_->frequency = total_tuples;
   bucket_count_ = 1;
+  index_ = std::make_unique<IndexState>();
   // The relation cardinality is a permanent constraint: the max-entropy
   // solution must always integrate to the table size.
   constraints_.push_back({domain, total_tuples});
@@ -59,10 +83,54 @@ double IsomerHistogram::RegionIntersectionVolume(const Bucket& b,
 
 double IsomerHistogram::Estimate(const Box& query) const {
   if (!IsEstimableQuery(root_->box, query)) {
-    ++stats_.rejected_queries;
+    index_->rejected_estimates.fetch_add(1, std::memory_order_relaxed);
+    return 0.0;
+  }
+  if (!index_->ready.load(std::memory_order_acquire)) {
+    const uint32_t repeats = index_->estimates_since_change.fetch_add(
+                                 1, std::memory_order_relaxed) +
+                             1;
+    if (repeats < kIndexBuildAfter) return EstimateNode(*root_, query);
+    EnsureIndex();
+  }
+  BucketGroups<Bucket> groups;
+  index_->index.Probe(query, &groups);
+  return EstimateIndexed(*root_, query, groups, MinVolume());
+}
+
+double IsomerHistogram::EstimateLinear(const Box& query) const {
+  if (!IsEstimableQuery(root_->box, query)) {
+    index_->rejected_estimates.fetch_add(1, std::memory_order_relaxed);
     return 0.0;
   }
   return EstimateNode(*root_, query);
+}
+
+std::vector<double> IsomerHistogram::EstimateBatch(std::span<const Box> queries,
+                                                   size_t threads) const {
+  EnsureIndex();
+  return Histogram::EstimateBatch(queries, threads);
+}
+
+void IsomerHistogram::EnsureIndex() const {
+  std::lock_guard<std::mutex> lock(index_->mutex);
+  if (index_->ready.load(std::memory_order_relaxed)) return;
+  index_->index.Rebuild(root_.get());
+  index_->ready.store(true, std::memory_order_release);
+}
+
+void IsomerHistogram::InvalidateIndex() {
+  index_->ready.store(false, std::memory_order_relaxed);
+  index_->estimates_since_change.store(0, std::memory_order_relaxed);
+}
+
+void IsomerHistogram::NoteStructureChange() { ++structure_epoch_; }
+
+RobustnessStats IsomerHistogram::robustness() const {
+  RobustnessStats stats = stats_;
+  stats.rejected_queries +=
+      index_->rejected_estimates.load(std::memory_order_relaxed);
+  return stats;
 }
 
 double IsomerHistogram::EstimateNode(const Bucket& b, const Box& query) const {
@@ -205,49 +273,147 @@ void IsomerHistogram::DrillHole(Bucket* b, const Box& candidate,
     hole->frequency = 0.0;
   }
   b->frequency = std::max(b->frequency - hole->frequency, 0.0);
+  const bool migrated = !hole->children.empty();
   b->children.push_back(std::move(hole));
   ++bucket_count_;
+
+  // Any drill changes region geometry, so constraint plans must rebuild;
+  // the index itself only goes stale when children moved between lists.
+  NoteStructureChange();
+  if (migrated) {
+    InvalidateIndex();
+  } else if (index_->ready.load(std::memory_order_relaxed)) {
+    index_->index.AppendChild(b);
+  } else {
+    index_->estimates_since_change.store(0, std::memory_order_relaxed);
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Maximum-entropy reconciliation (iterative proportional scaling)
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Recursively appends the plan node for `b` (already known to intersect
+// `box`) and its intersecting descendants in pre-order; returns the subtree
+// size. `kids(b)` enumerates b's intersecting children in child order.
+template <typename BucketT, typename NodeT, typename MakeNode,
+          typename Kids>
+uint32_t AppendPlanNode(BucketT* b, const MakeNode& make_node,
+                        const Kids& kids, std::vector<NodeT>* out) {
+  const size_t at = out->size();
+  out->push_back(make_node(b));
+  uint32_t subtree = 1;
+  for (const auto& ref : kids(b)) {
+    subtree += AppendPlanNode(b->children[ref.slot].get(), make_node, kids,
+                              out);
+  }
+  (*out)[at].subtree = subtree;
+  return subtree;
+}
+
+}  // namespace
+
+void IsomerHistogram::EnsurePlan(Constraint* constraint) {
+  if (constraint->plan_epoch == structure_epoch_) return;
+  constraint->plan.clear();
+  constraint->plan_epoch = structure_epoch_;
+  constraint->plan_estimable = IsEstimableQuery(root_->box, constraint->box);
+
+  // Probe once; the plan then replays CollectIntersecting's pre-order
+  // without ever scanning non-intersecting subtrees.
+  EnsureIndex();
+  BucketGroups<Bucket> groups;
+  index_->index.Probe(constraint->box, &groups);
+
+  const Box& box = constraint->box;
+  if (root_->box.IntersectionVolume(box) <= 0.0) return;
+  auto make_node = [&](Bucket* b) {
+    PlanNode node;
+    node.bucket = b;
+    // cached_region is bitwise-identical to RegionVolume here: EnsureIndex
+    // above refreshed it against the current structure.
+    node.region = b->cached_region;
+    // RegionIntersectionVolume, subtracting only intersecting children (the
+    // others subtract exact 0.0 in the uncached loop).
+    double v = b->box.IntersectionVolume(box);
+    for (const auto& ref : groups.Of(b)) {
+      v -= b->children[ref.slot]->box.IntersectionVolume(box);
+    }
+    node.riv = std::max(v, 0.0);
+    node.usable = node.region > MinVolume();
+    node.contained = box.Contains(b->box);
+    return node;
+  };
+  auto kids = [&](Bucket* b) { return groups.Of(b); };
+  AppendPlanNode(root_.get(), make_node, kids, &constraint->plan);
+}
+
+double IsomerHistogram::PlanEstimate(const Constraint& constraint) const {
+  STHIST_DCHECK(constraint.plan_epoch == structure_epoch_);
+  if (!constraint.plan_estimable) {
+    index_->rejected_estimates.fetch_add(1, std::memory_order_relaxed);
+    return 0.0;
+  }
+  // Local recursion over the pre-order plan using the subtree extents.
+  struct Eval {
+    const std::vector<PlanNode>& nodes;
+    double At(size_t i) const {
+      const PlanNode& n = nodes[i];
+      double est = 0.0;
+      if (n.usable) {
+        double overlap = std::min(n.riv, n.region);
+        est += n.bucket->frequency * (overlap / n.region);
+      } else if (n.contained) {
+        est += n.bucket->frequency;
+      }
+      const size_t end = i + n.subtree;
+      for (size_t j = i + 1; j < end; j += nodes[j].subtree) {
+        est += At(j);
+      }
+      return est;
+    }
+  };
+  if (constraint.plan.empty()) return 0.0;
+  return Eval{constraint.plan}.At(0);
+}
+
 double IsomerHistogram::ScaleOnce() {
   double worst = 0.0;
-  for (const Constraint& constraint : constraints_) {
-    double est = Estimate(constraint.box);
+  for (Constraint& constraint : constraints_) {
+    // The hot loops below used to recompute Estimate(constraint.box) plus
+    // every region/overlap volume from scratch on every round; the plan
+    // caches that structure-invariant geometry once per structural epoch and
+    // replays it bitwise-identically (only frequencies change per round).
+    EnsurePlan(&constraint);
+    double est = PlanEstimate(constraint);
     double scale_base = std::max(constraint.count, 1.0);
     worst = std::max(worst, std::abs(est - constraint.count) / scale_base);
 
-    std::vector<Bucket*> touched;
-    CollectIntersecting(root_.get(), constraint.box, &touched);
-    if (touched.empty()) continue;
+    if (constraint.plan.empty()) continue;
 
     if (est > 1e-9) {
       // Multiply each bucket's overlapping portion by count/est.
       double ratio = constraint.count / est;
-      for (Bucket* b : touched) {
-        double region = RegionVolume(*b);
-        if (region <= MinVolume()) continue;
+      for (const PlanNode& node : constraint.plan) {
+        if (!node.usable) continue;
         double portion =
-            b->frequency *
-            std::min(RegionIntersectionVolume(*b, constraint.box), region) /
-            region;
-        b->frequency =
-            std::max(b->frequency + portion * (ratio - 1.0), 0.0);
+            node.bucket->frequency * std::min(node.riv, node.region) /
+            node.region;
+        node.bucket->frequency =
+            std::max(node.bucket->frequency + portion * (ratio - 1.0), 0.0);
       }
     } else if (constraint.count > 0.0) {
       // Nothing to scale: seed mass proportional to overlap volume.
       double total_overlap = 0.0;
-      for (Bucket* b : touched) {
-        total_overlap += RegionIntersectionVolume(*b, constraint.box);
+      for (const PlanNode& node : constraint.plan) {
+        total_overlap += node.riv;
       }
       if (total_overlap <= 0.0) continue;
-      for (Bucket* b : touched) {
-        b->frequency += constraint.count *
-                        RegionIntersectionVolume(*b, constraint.box) /
-                        total_overlap;
+      for (const PlanNode& node : constraint.plan) {
+        node.bucket->frequency +=
+            constraint.count * node.riv / total_overlap;
       }
     }
   }
@@ -265,7 +431,8 @@ void IsomerHistogram::Solve() {
   // satisfy — typically regions whose buckets were merged away under the
   // budget. Keeping them would make every future solve thrash.
   for (size_t i = constraints_.size(); i-- > 1;) {
-    double est = Estimate(constraints_[i].box);
+    EnsurePlan(&constraints_[i]);
+    double est = PlanEstimate(constraints_[i]);
     double violation = std::abs(est - constraints_[i].count) /
                        std::max(constraints_[i].count, 1.0);
     if (violation > config_.inconsistency_threshold) {
@@ -368,6 +535,10 @@ void IsomerHistogram::EnforceBudget() {
       best_parent->children.push_back(std::move(grandchild));
     }
     --bucket_count_;
+    // The merge moved buckets between children lists and deleted one:
+    // index references and plan Bucket pointers are both stale.
+    NoteStructureChange();
+    InvalidateIndex();
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef STHIST_HISTOGRAM_ISOMER_H_
 #define STHIST_HISTOGRAM_ISOMER_H_
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -59,7 +60,19 @@ class IsomerHistogram : public Histogram {
 
   /// Estimated cardinality of `query`. Malformed queries estimate to 0 and
   /// bump the robustness counters instead of aborting.
+  ///
+  /// Served through the lazily built bucket index (DESIGN.md §10);
+  /// bitwise-identical to EstimateLinear by construction.
   double Estimate(const Box& query) const override;
+
+  /// The original full-tree linear scan, retained as the reference path for
+  /// differential testing against the indexed Estimate.
+  double EstimateLinear(const Box& query) const override;
+
+  /// Index-aware batch: builds the bucket index once up front, then fans the
+  /// per-query estimates out per the base-class contract.
+  std::vector<double> EstimateBatch(std::span<const Box> queries,
+                                    size_t threads = 0) const override;
 
   /// Records the query's true cardinality as a constraint, drills structure
   /// for it, and re-solves the frequencies by iterative scaling.
@@ -70,7 +83,7 @@ class IsomerHistogram : public Histogram {
   void Refine(const Box& query, const CardinalityOracle& oracle) override;
 
   /// Degradation counters accumulated since construction.
-  RobustnessStats robustness() const override { return stats_; }
+  RobustnessStats robustness() const override;
 
   size_t bucket_count() const override;
 
@@ -90,9 +103,31 @@ class IsomerHistogram : public Histogram {
 
  private:
   struct Bucket;
+
+  /// Cached geometry of one bucket against one constraint box, valid while
+  /// the bucket structure is unchanged (scaling only moves frequencies).
+  /// Region and riv are bitwise-identical to fresh RegionVolume /
+  /// RegionIntersectionVolume computations by construction, so replaying a
+  /// plan reproduces the uncached per-round loops bit for bit — this is the
+  /// hoisting of the invariant Estimate/geometry work out of ScaleOnce and
+  /// Solve (guarded by tests/index_differential_test.cc).
+  struct PlanNode {
+    Bucket* bucket = nullptr;
+    double region = 0.0;     // RegionVolume at plan-build time.
+    double riv = 0.0;        // RegionIntersectionVolume(bucket, box).
+    uint32_t subtree = 1;    // Plan nodes in this bucket's subtree, incl. self.
+    bool usable = false;     // region > MinVolume(): participates in scaling.
+    bool contained = false;  // box contains bucket->box (degenerate term).
+  };
+
   struct Constraint {
     Box box;
     double count = 0.0;
+    /// structure_epoch_ the plan below was built against; 0 = never built.
+    uint64_t plan_epoch = 0;
+    /// Pre-order plan over the buckets intersecting `box`.
+    std::vector<PlanNode> plan;
+    bool plan_estimable = true;  // IsEstimableQuery(domain, box) at build.
   };
 
   static double RegionVolume(const Bucket& b);
@@ -115,6 +150,17 @@ class IsomerHistogram : public Histogram {
 
   void EnforceBudget();
 
+  // --- Constraint plans + bucket index (DESIGN.md §10) ---
+  // Rebuilds constraint->plan via an index probe if its epoch is stale.
+  void EnsurePlan(Constraint* constraint);
+  // Replays the estimation recursion over a (fresh) plan; bitwise-identical
+  // to Estimate(constraint.box) under the current frequencies.
+  double PlanEstimate(const Constraint& constraint) const;
+  void EnsureIndex() const;
+  void InvalidateIndex();
+  // Records a structural change: bumps the epoch so constraint plans rebuild.
+  void NoteStructureChange();
+
   double MinVolume() const;
   void CheckNode(const Bucket& b) const;
 
@@ -123,8 +169,15 @@ class IsomerHistogram : public Histogram {
   size_t bucket_count_ = 0;  // Including root.
   std::deque<Constraint> constraints_;
   double total_tuples_;
-  // Mutable so the const Estimate path can record rejected queries.
-  mutable RobustnessStats stats_;
+  // Refine-path degradation counters; Estimate-path rejections live in
+  // IndexState as an atomic and are merged in robustness().
+  RobustnessStats stats_;
+  /// Incremented on every drill/merge; constraint plans cache geometry
+  /// keyed by this, so stale Bucket pointers in plans are never followed.
+  uint64_t structure_epoch_ = 1;
+  // Spatial index over the bucket tree; defined in the .cc.
+  struct IndexState;
+  std::unique_ptr<IndexState> index_;
 };
 
 }  // namespace sthist

@@ -94,14 +94,45 @@ MHistHistogram::MHistHistogram(const Dataset& data, const Box& domain,
     buckets_.push_back(
         {bucket.box, static_cast<double>(bucket.rows.size())});
   }
+
+  std::vector<RTree::Entry> entries;
+  entries.reserve(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    entries.push_back({buckets_[i].box, i});
+  }
+  index_.Bulk(std::move(entries));
 }
 
 double MHistHistogram::Estimate(const Box& query) const {
+  // Closed-overlap probe: a degenerate bucket inside the query shares no
+  // open interior with it but must still contribute its mass. Buckets the
+  // probe skips contribute an exact 0.0 term (disjoint => zero intersection
+  // volume) or no term (degenerate, not contained) in the linear scan, and
+  // sorting restores bucket order, so the sum below is bitwise-identical to
+  // EstimateLinear.
+  std::vector<uint64_t> hits;
+  index_.Probe(query, BoxOverlap::kClosed, &hits);
+  std::sort(hits.begin(), hits.end());
+  double estimate = 0.0;
+  for (uint64_t id : hits) {
+    const BucketInfo& bucket = buckets_[id];
+    double volume = bucket.box.Volume();
+    if (volume <= 0.0) {
+      // Degenerate bucket: counts fully when the query covers it.
+      if (query.Contains(bucket.box)) estimate += bucket.frequency;
+      continue;
+    }
+    estimate +=
+        bucket.frequency * bucket.box.IntersectionVolume(query) / volume;
+  }
+  return estimate;
+}
+
+double MHistHistogram::EstimateLinear(const Box& query) const {
   double estimate = 0.0;
   for (const BucketInfo& bucket : buckets_) {
     double volume = bucket.box.Volume();
     if (volume <= 0.0) {
-      // Degenerate bucket: counts fully when the query covers it.
       if (query.Contains(bucket.box)) estimate += bucket.frequency;
       continue;
     }

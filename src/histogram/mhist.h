@@ -5,6 +5,7 @@
 
 #include "data/dataset.h"
 #include "histogram/histogram.h"
+#include "index/rtree.h"
 
 namespace sthist {
 
@@ -33,7 +34,15 @@ class MHistHistogram : public Histogram {
   MHistHistogram(const Dataset& data, const Box& domain,
                  const MHistConfig& config);
 
+  /// Served through a bucket R-tree built at construction (closed-overlap
+  /// probes, so degenerate buckets swallowed by the query still count);
+  /// bitwise-identical to EstimateLinear — skipped buckets contribute an
+  /// exact 0.0 to the linear sum, and hits are visited in bucket order.
   double Estimate(const Box& query) const override;
+
+  /// The original flat bucket scan, retained as the differential-test
+  /// reference for the indexed Estimate.
+  double EstimateLinear(const Box& query) const override;
 
   /// Static; ignores feedback.
   void Refine(const Box& query, const CardinalityOracle& oracle) override;
@@ -62,6 +71,9 @@ class MHistHistogram : public Histogram {
 
   MHistConfig config_;
   std::vector<BucketInfo> buckets_;
+  /// Spatial index over buckets_ (entry id = bucket position). Built once at
+  /// construction; the histogram is static, so it never goes stale.
+  RTree index_;
 };
 
 }  // namespace sthist

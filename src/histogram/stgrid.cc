@@ -89,7 +89,7 @@ void STGridHistogram::ForEachOverlap(const Box& query, Fn&& fn) const {
 
 double STGridHistogram::Estimate(const Box& query) const {
   if (!IsEstimableQuery(domain_, query)) {
-    ++stats_.rejected_queries;
+    rejected_estimates_.fetch_add(1, std::memory_order_relaxed);
     return 0.0;
   }
   double estimate = 0.0;
@@ -97,6 +97,44 @@ double STGridHistogram::Estimate(const Box& query) const {
     estimate += frequencies_[index] * fraction;
   });
   return estimate;
+}
+
+double STGridHistogram::EstimateLinear(const Box& query) const {
+  if (!IsEstimableQuery(domain_, query)) {
+    rejected_estimates_.fetch_add(1, std::memory_order_relaxed);
+    return 0.0;
+  }
+  // Visit every cell of the tensor in flat (row-major) order — the same
+  // order ForEachOverlap walks its sub-range — computing each cell's volume
+  // fraction from scratch. Cells outside the query clamp to an exact 0.0
+  // fraction and contribute +0.0, so this sums bitwise-identically to the
+  // grid-probed Estimate.
+  double estimate = 0.0;
+  std::vector<size_t> cell(dim(), 0);
+  for (size_t index = 0; index < frequencies_.size(); ++index) {
+    double fraction = 1.0;
+    for (size_t d = 0; d < dim(); ++d) {
+      double lo = boundaries_[d][cell[d]];
+      double hi = boundaries_[d][cell[d] + 1];
+      double width = hi - lo;
+      double overlap = std::min(hi, query.hi(d)) - std::max(lo, query.lo(d));
+      fraction *= width > 0.0 ? std::clamp(overlap / width, 0.0, 1.0) : 0.0;
+    }
+    estimate += frequencies_[index] * fraction;
+
+    for (size_t d = dim(); d-- > 0;) {
+      if (++cell[d] < config_.cells_per_dim) break;
+      cell[d] = 0;
+    }
+  }
+  return estimate;
+}
+
+RobustnessStats STGridHistogram::robustness() const {
+  RobustnessStats stats = stats_;
+  stats.rejected_queries +=
+      rejected_estimates_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void STGridHistogram::Refine(const Box& query,

@@ -1,6 +1,7 @@
 #ifndef STHIST_HISTOGRAM_STGRID_H_
 #define STHIST_HISTOGRAM_STGRID_H_
 
+#include <atomic>
 #include <vector>
 
 #include "histogram/histogram.h"
@@ -47,7 +48,16 @@ class STGridHistogram : public Histogram {
 
   /// Estimated cardinality of `query`. Malformed queries estimate to 0 and
   /// bump the robustness counters instead of aborting.
+  ///
+  /// The grid is its own spatial index: per-dimension binary search finds
+  /// the overlapped cell ranges directly, so only those cells are visited
+  /// (see DESIGN.md §10 on why no R-tree is layered on top).
   double Estimate(const Box& query) const override;
+
+  /// Naive full-tensor scan over every cell, retained as the differential
+  /// reference for the grid-probed Estimate (cells outside the query
+  /// contribute an exact 0.0 fraction, so the two sum bitwise-identically).
+  double EstimateLinear(const Box& query) const override;
 
   /// Delta-rule refinement from the query's true total cardinality only.
   /// Untrusted feedback degrades gracefully: unusable query boxes are
@@ -58,7 +68,7 @@ class STGridHistogram : public Histogram {
   size_t bucket_count() const override { return frequencies_.size(); }
 
   /// Degradation counters accumulated since construction.
-  RobustnessStats robustness() const override { return stats_; }
+  RobustnessStats robustness() const override;
 
   /// Sum of all cell frequencies.
   double TotalFrequency() const;
@@ -96,8 +106,11 @@ class STGridHistogram : public Histogram {
   std::vector<std::vector<double>> boundaries_;  // Per dim, sorted.
   std::vector<double> frequencies_;              // Row-major tensor.
   size_t queries_seen_ = 0;
-  // Mutable so the const Estimate path can record rejected queries.
-  mutable RobustnessStats stats_;
+  // Refine-path degradation counters (Refine is exclusive by contract).
+  RobustnessStats stats_;
+  // Estimate-path rejections; atomic because EstimateBatch runs the const
+  // Estimate concurrently. Merged into robustness().
+  mutable std::atomic<size_t> rejected_estimates_{0};
 };
 
 }  // namespace sthist

@@ -1,10 +1,13 @@
 #include "histogram/stholes.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "core/check.h"
+#include "histogram/bucket_index.h"
 #include "histogram/robustness.h"
 
 namespace sthist {
@@ -15,12 +18,36 @@ struct STHoles::Bucket {
   Box box;
   double frequency = 0.0;
   std::vector<std::unique_ptr<Bucket>> children;
+  /// Region volume as of the last index (re)build; only read on the indexed
+  /// estimation path, which guarantees it is fresh (bitwise equal to
+  /// RegionVolume) whenever IndexState::ready holds.
+  double cached_region = 0.0;
+};
+
+/// Spatial index over the bucket tree plus its build/validity state.
+struct STHoles::IndexState {
+  // Serializes builds; probes run lock-free once `ready` is observed true
+  // (acquire) after the builder's release store.
+  std::mutex mutex;
+  BucketTreeIndex<Bucket> index;
+  std::atomic<bool> ready{false};
+  // Estimates served since the last structural change. The lazy build waits
+  // for a few of them so a lone estimate inside an Estimate/Refine interleave
+  // (learn-during-sim) doesn't pay an O(n log n) rebuild per query.
+  std::atomic<uint32_t> estimates_since_change{0};
+  // Estimate-path rejections; atomic because EstimateBatch runs Estimate
+  // concurrently. Refine-path counters stay in stats_ (Refine is exclusive).
+  std::atomic<size_t> rejected_estimates{0};
 };
 
 namespace {
 
 // Relative tolerance for box-equality decisions during drilling.
 constexpr double kBoxEps = 1e-9;
+
+// Estimates that must repeat on an unchanged bucket tree before the lazy
+// index build triggers (see IndexState::estimates_since_change).
+constexpr uint32_t kIndexBuildAfter = 2;
 
 }  // namespace
 
@@ -34,6 +61,7 @@ STHoles::STHoles(const Box& domain, double total_tuples,
   root_->box = domain;
   root_->frequency = total_tuples;
   bucket_count_ = 1;
+  index_ = std::make_unique<IndexState>();
 }
 
 STHoles::~STHoles() = default;
@@ -68,10 +96,57 @@ double STHoles::RegionIntersectionVolume(const Bucket& b, const Box& query) {
 
 double STHoles::Estimate(const Box& query) const {
   if (!IsEstimableQuery(root_->box, query)) {
-    ++stats_.rejected_queries;
+    index_->rejected_estimates.fetch_add(1, std::memory_order_relaxed);
+    return 0.0;
+  }
+  if (!index_->ready.load(std::memory_order_acquire)) {
+    // Cold index: serve linearly until estimates repeat on this structure,
+    // then build. Both paths return bitwise-identical values, so the policy
+    // is observable only as wall-clock time.
+    const uint32_t repeats = index_->estimates_since_change.fetch_add(
+                                 1, std::memory_order_relaxed) +
+                             1;
+    if (repeats < kIndexBuildAfter) return EstimateNode(*root_, query);
+    EnsureIndex();
+  }
+  BucketGroups<Bucket> groups;
+  index_->index.Probe(query, &groups);
+  return EstimateIndexed(*root_, query, groups, MinVolume());
+}
+
+double STHoles::EstimateLinear(const Box& query) const {
+  if (!IsEstimableQuery(root_->box, query)) {
+    index_->rejected_estimates.fetch_add(1, std::memory_order_relaxed);
     return 0.0;
   }
   return EstimateNode(*root_, query);
+}
+
+std::vector<double> STHoles::EstimateBatch(std::span<const Box> queries,
+                                           size_t threads) const {
+  // A batch always amortizes the build; force it before fanning out so the
+  // workers only ever probe.
+  EnsureIndex();
+  return Histogram::EstimateBatch(queries, threads);
+}
+
+void STHoles::EnsureIndex() const {
+  std::lock_guard<std::mutex> lock(index_->mutex);
+  if (index_->ready.load(std::memory_order_relaxed)) return;
+  index_->index.Rebuild(root_.get());
+  index_->ready.store(true, std::memory_order_release);
+}
+
+void STHoles::InvalidateIndex() {
+  index_->ready.store(false, std::memory_order_relaxed);
+  index_->estimates_since_change.store(0, std::memory_order_relaxed);
+}
+
+RobustnessStats STHoles::robustness() const {
+  RobustnessStats stats = stats_;
+  stats.rejected_queries +=
+      index_->rejected_estimates.load(std::memory_order_relaxed);
+  return stats;
 }
 
 double STHoles::EstimateNode(const Bucket& b, const Box& query) const {
@@ -269,8 +344,20 @@ void STHoles::DrillHole(Bucket* b, const Box& candidate,
     hole->frequency = 0.0;
   }
   b->frequency = std::max(b->frequency - hole->frequency, 0.0);
+  const bool migrated = !hole->children.empty();
   b->children.push_back(std::move(hole));
   ++bucket_count_;
+
+  if (migrated) {
+    // Children moved under the hole: slots shifted, the index is stale.
+    InvalidateIndex();
+  } else if (index_->ready.load(std::memory_order_relaxed)) {
+    // Pure append: existing slots are untouched, so the index follows
+    // incrementally instead of rebuilding.
+    index_->index.AppendChild(b);
+  } else {
+    index_->estimates_since_change.store(0, std::memory_order_relaxed);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -431,6 +518,9 @@ void STHoles::ComputeSiblingMerge(Bucket* parent, Bucket* b1, Bucket* b2,
 }
 
 void STHoles::ApplyMerge(const MergeCandidate& merge) {
+  // Every merge moves buckets between children lists; the index's
+  // (parent, slot) references are stale either way.
+  InvalidateIndex();
   Bucket* parent = merge.parent;
 
   if (merge.second == nullptr) {

@@ -45,7 +45,20 @@ class STHoles : public Histogram {
   /// Estimated cardinality of `query`. Malformed queries (dimension
   /// mismatch, non-finite or inverted bounds) estimate to 0 and bump the
   /// robustness counters instead of aborting.
+  ///
+  /// Served through the lazily built bucket index (DESIGN.md §10);
+  /// bitwise-identical to EstimateLinear by construction, which
+  /// tests/index_differential_test.cc enforces.
   double Estimate(const Box& query) const override;
+
+  /// The original full-tree linear scan, retained as the reference path for
+  /// differential testing against the indexed Estimate.
+  double EstimateLinear(const Box& query) const override;
+
+  /// Index-aware batch: builds the bucket index once up front, then fans the
+  /// (now cheap) per-query estimates out per the base-class contract.
+  std::vector<double> EstimateBatch(std::span<const Box> queries,
+                                    size_t threads = 0) const override;
 
   /// Learns from the feedback of one executed query: drills shrunken
   /// candidate holes with exact counts into every intersected bucket, then
@@ -58,7 +71,7 @@ class STHoles : public Histogram {
   void Refine(const Box& query, const CardinalityOracle& oracle) override;
 
   /// Degradation counters accumulated since construction.
-  RobustnessStats robustness() const override { return stats_; }
+  RobustnessStats robustness() const override;
 
   /// Buckets excluding the fixed root (the paper's counting convention).
   size_t bucket_count() const override { return bucket_count_ - 1; }
@@ -144,11 +157,23 @@ class STHoles : public Histogram {
 
   void CheckNode(const Bucket& b) const;
 
+  // --- Bucket index maintenance (DESIGN.md §10) ---
+  // Builds the spatial index if it is not ready (thread-safe, idempotent).
+  void EnsureIndex() const;
+  // Marks the index stale after a structural change that moved buckets.
+  void InvalidateIndex();
+
   STHolesConfig config_;
   std::unique_ptr<Bucket> root_;
   size_t bucket_count_ = 0;  // Including root.
-  // Mutable so the const Estimate path can record rejected queries.
-  mutable RobustnessStats stats_;
+  // Refine-path degradation counters; Estimate-path rejections live in
+  // IndexState as an atomic (Estimate may run concurrently via
+  // EstimateBatch) and are merged in robustness().
+  RobustnessStats stats_;
+  // Spatial index over the bucket tree plus its build/validity state;
+  // defined in the .cc to keep the index machinery out of this header.
+  struct IndexState;
+  std::unique_ptr<IndexState> index_;
 };
 
 }  // namespace sthist

@@ -1,0 +1,182 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+
+namespace sthist {
+
+void RTree::Clear() {
+  nodes_.clear();
+  root_ = -1;
+  size_ = 0;
+}
+
+Box RTree::BoundsOf(const Entry* begin, const Entry* end) {
+  STHIST_DCHECK(begin != end);
+  Box bounds = begin->box;
+  for (const Entry* e = begin + 1; e != end; ++e) {
+    bounds.ExtendToContain(e->box);
+  }
+  return bounds;
+}
+
+size_t RTree::WidestCenterDim(const Entry* begin, const Entry* end) {
+  const size_t dim = begin->box.dim();
+  size_t best_dim = 0;
+  double best_spread = -1.0;
+  for (size_t d = 0; d < dim; ++d) {
+    double lo = begin->box.lo(d) + begin->box.hi(d);
+    double hi = lo;
+    for (const Entry* e = begin + 1; e != end; ++e) {
+      const double center2 = e->box.lo(d) + e->box.hi(d);
+      lo = std::min(lo, center2);
+      hi = std::max(hi, center2);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_dim = d;
+    }
+  }
+  return best_dim;
+}
+
+bool RTree::ClosedOverlap(const Box& a, const Box& b) {
+  STHIST_DCHECK(a.dim() == b.dim());
+  for (size_t d = 0; d < a.dim(); ++d) {
+    if (a.hi(d) < b.lo(d) || b.hi(d) < a.lo(d)) return false;
+  }
+  return true;
+}
+
+double RTree::Enlargement(const Box& bounds, const Box& box) {
+  Box grown = bounds;
+  grown.ExtendToContain(box);
+  return grown.Volume() - bounds.Volume();
+}
+
+int32_t RTree::BuildNode(Entry* begin, Entry* end) {
+  // nodes_ may reallocate during the recursive calls below, so never hold a
+  // Node reference across them — address nodes_[id] afresh each time.
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[id].bounds = BoundsOf(begin, end);
+
+  const size_t n = static_cast<size_t>(end - begin);
+  if (n <= kLeafCapacity) {
+    nodes_[id].entries.assign(begin, end);
+    return id;
+  }
+
+  const size_t split_dim = WidestCenterDim(begin, end);
+  Entry* mid = begin + n / 2;
+  std::nth_element(begin, mid, end, [split_dim](const Entry& a, const Entry& b) {
+    return a.box.lo(split_dim) + a.box.hi(split_dim) <
+           b.box.lo(split_dim) + b.box.hi(split_dim);
+  });
+  const int32_t left = BuildNode(begin, mid);
+  const int32_t right = BuildNode(mid, end);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+void RTree::Bulk(std::vector<Entry> entries) {
+  Clear();
+  if (entries.empty()) return;
+  size_ = entries.size();
+  nodes_.reserve(2 * (entries.size() / kLeafCapacity + 1));
+  root_ = BuildNode(entries.data(), entries.data() + entries.size());
+}
+
+void RTree::SplitLeaf(int32_t node_id) {
+  std::vector<Entry> entries = std::move(nodes_[node_id].entries);
+  nodes_[node_id].entries.clear();
+
+  const size_t split_dim =
+      WidestCenterDim(entries.data(), entries.data() + entries.size());
+  Entry* mid = entries.data() + entries.size() / 2;
+  std::nth_element(entries.data(), mid, entries.data() + entries.size(),
+                   [split_dim](const Entry& a, const Entry& b) {
+                     return a.box.lo(split_dim) + a.box.hi(split_dim) <
+                            b.box.lo(split_dim) + b.box.hi(split_dim);
+                   });
+
+  const int32_t left = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[left].bounds = BoundsOf(entries.data(), mid);
+  nodes_[left].entries.assign(entries.data(), mid);
+
+  const int32_t right = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[right].bounds = BoundsOf(mid, entries.data() + entries.size());
+  nodes_[right].entries.assign(mid, entries.data() + entries.size());
+
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+}
+
+void RTree::Insert(const Box& box, uint64_t id) {
+  ++size_;
+  if (root_ < 0) {
+    root_ = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[root_].bounds = box;
+    nodes_[root_].entries.push_back({box, id});
+    return;
+  }
+
+  int32_t at = root_;
+  while (true) {
+    nodes_[at].bounds.ExtendToContain(box);
+    if (nodes_[at].leaf()) break;
+    const int32_t left = nodes_[at].left;
+    const int32_t right = nodes_[at].right;
+    const double grow_left = Enlargement(nodes_[left].bounds, box);
+    const double grow_right = Enlargement(nodes_[right].bounds, box);
+    if (grow_left < grow_right) {
+      at = left;
+    } else if (grow_right < grow_left) {
+      at = right;
+    } else {
+      // Tie: prefer the smaller subtree box (classic Guttman tiebreak).
+      at = nodes_[left].bounds.Volume() <= nodes_[right].bounds.Volume()
+               ? left
+               : right;
+    }
+  }
+  nodes_[at].entries.push_back({box, id});
+  if (nodes_[at].entries.size() > kLeafCapacity) SplitLeaf(at);
+}
+
+void RTree::Probe(const Box& query, BoxOverlap mode,
+                  std::vector<uint64_t>* out) const {
+  STHIST_DCHECK(out != nullptr);
+  if (root_ < 0) return;
+  // Iterative DFS; the stack is function-local so concurrent probes never
+  // share mutable state.
+  std::vector<int32_t> stack;
+  stack.reserve(64);
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    // Closed overlap is a superset of open-interior overlap, so it is a
+    // valid prune for both modes; the exact predicate runs per entry.
+    if (!ClosedOverlap(node.bounds, query)) continue;
+    if (node.leaf()) {
+      for (const Entry& entry : node.entries) {
+        const bool hit = mode == BoxOverlap::kOpenInterior
+                             ? entry.box.Intersects(query)
+                             : ClosedOverlap(entry.box, query);
+        if (hit) out->push_back(entry.id);
+      }
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+}
+
+}  // namespace sthist

@@ -1,0 +1,103 @@
+#ifndef STHIST_INDEX_RTREE_H_
+#define STHIST_INDEX_RTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/box.h"
+
+namespace sthist {
+
+/// Overlap predicate a probe matches entries against.
+enum class BoxOverlap {
+  /// Open interiors overlap: the intersection has positive extent in every
+  /// dimension (Box::Intersects). Boxes merely sharing a boundary miss.
+  kOpenInterior,
+  /// Closed intervals overlap: touching boundaries and degenerate
+  /// (zero-extent) boxes count. A superset of kOpenInterior.
+  kClosed,
+};
+
+/// Bulk-loaded spatial index over (box, id) entries supporting
+/// box-intersection probes.
+///
+/// Structurally a binary R-tree: internal nodes hold the bounding box of
+/// their subtree, leaves hold up to a handful of entries. `Bulk` loads
+/// top-down by median-splitting entry centers along the widest-spread
+/// dimension (the same partitioning the counting k-d tree uses, generalized
+/// from points to boxes); `Insert` descends by least volume enlargement and
+/// splits full leaves, so the tree can also be maintained incrementally.
+/// Unlike `KdTree`, entries are arbitrary boxes rather than dataset tuples —
+/// this is the index the histograms put their *buckets* in.
+///
+/// Probes never rank or deduplicate: they append the ids of all entries
+/// overlapping the query (under the requested predicate) in unspecified
+/// order. Thread safety: any number of concurrent probes; Bulk/Insert
+/// require exclusive access.
+class RTree {
+ public:
+  /// One indexed element: an axis-aligned box plus a caller-defined id.
+  /// All boxes in one tree must share a dimensionality.
+  struct Entry {
+    Box box;
+    uint64_t id = 0;
+  };
+
+  RTree() = default;
+
+  /// Discards all entries and nodes.
+  void Clear();
+
+  /// Replaces the contents with `entries`, bulk-loading bottom-up tight
+  /// bounds. O(n log n).
+  void Bulk(std::vector<Entry> entries);
+
+  /// Inserts one entry incrementally (least-enlargement descent, leaves
+  /// split at capacity).
+  void Insert(const Box& box, uint64_t id);
+
+  /// Number of entries held.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Appends the ids of every entry whose box overlaps `query` under `mode`
+  /// to `out` (not cleared first). Order unspecified.
+  void Probe(const Box& query, BoxOverlap mode,
+             std::vector<uint64_t>* out) const;
+
+ private:
+  // Leaf fan-out. Small enough that a leaf scan stays in one cache line
+  // neighborhood, large enough to keep the tree shallow.
+  static constexpr size_t kLeafCapacity = 8;
+
+  struct Node {
+    Box bounds;          // Bounding box of the subtree's entries.
+    int32_t left = -1;   // Child node ids; -1 marks a leaf.
+    int32_t right = -1;
+    std::vector<Entry> entries;  // Leaf payload; empty for internal nodes.
+
+    bool leaf() const { return left < 0; }
+  };
+
+  // Recursively builds the subtree over [begin, end); returns its node id.
+  int32_t BuildNode(Entry* begin, Entry* end);
+
+  // Splits the over-full leaf `node_id` into two leaves under it.
+  void SplitLeaf(int32_t node_id);
+
+  static Box BoundsOf(const Entry* begin, const Entry* end);
+  // Dimension along which the entry centers of [begin, end) spread widest.
+  static size_t WidestCenterDim(const Entry* begin, const Entry* end);
+  static bool ClosedOverlap(const Box& a, const Box& b);
+  // Volume growth of `bounds` if extended to contain `box`.
+  static double Enlargement(const Box& bounds, const Box& box);
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t size_ = 0;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_INDEX_RTREE_H_

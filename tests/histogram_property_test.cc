@@ -1,0 +1,244 @@
+// Property suite run against EVERY Histogram implementation through the
+// shared interface: estimates are finite and non-negative, the full-domain
+// estimate recovers the dataset size (within per-implementation tolerance),
+// estimation is monotone under query containment, and repeated calls —
+// scalar or batched, at any thread count — are bitwise deterministic.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/box.h"
+#include "core/rng.h"
+#include "data/generators.h"
+#include "eval/metrics.h"
+#include "histogram/avi.h"
+#include "histogram/equiwidth.h"
+#include "histogram/histogram.h"
+#include "histogram/isomer.h"
+#include "histogram/mhist.h"
+#include "histogram/sampling.h"
+#include "histogram/stgrid.h"
+#include "histogram/stholes.h"
+#include "histogram/trivial.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace sthist {
+namespace {
+
+uint64_t Bits(double x) { return std::bit_cast<uint64_t>(x); }
+
+// One dataset + executor + training workload shared by every implementation.
+struct Scenario {
+  Scenario(std::string name_in, GeneratedData g_in)
+      : name(std::move(name_in)), g(std::move(g_in)) {}
+
+  std::string name;
+  GeneratedData g;
+  std::unique_ptr<Executor> executor;
+  Workload train;
+  Workload eval;
+};
+
+std::unique_ptr<Scenario> MakeScenario(std::string name, GeneratedData g,
+                                       uint64_t seed) {
+  auto s = std::make_unique<Scenario>(std::move(name), std::move(g));
+  s->executor = std::make_unique<Executor>(s->g.data);
+
+  WorkloadConfig wc;
+  wc.num_queries = 100;
+  wc.volume_fraction = 0.01;
+  wc.seed = DeriveSeed(seed, 0);
+  s->train = MakeWorkload(s->g.domain, wc);
+
+  // Evaluation probes mix the small training-sized queries with larger ones
+  // so properties are checked across scales.
+  wc.num_queries = 60;
+  wc.seed = DeriveSeed(seed, 1);
+  s->eval = MakeWorkload(s->g.domain, wc);
+  wc.num_queries = 20;
+  wc.volume_fraction = 0.15;
+  wc.seed = DeriveSeed(seed, 2);
+  Workload big = MakeWorkload(s->g.domain, wc);
+  s->eval.insert(s->eval.end(), big.begin(), big.end());
+  s->eval.push_back(s->g.domain);
+  return s;
+}
+
+const std::vector<const Scenario*>& Scenarios() {
+  static const std::vector<const Scenario*>* scenarios = [] {
+    auto* out = new std::vector<const Scenario*>();
+
+    CrossConfig cross;
+    cross.tuples_per_cluster = 1500;
+    cross.noise_tuples = 300;
+    cross.seed = 11;
+    out->push_back(MakeScenario("cross2d", MakeCross(cross), 101).release());
+
+    GaussConfig gauss;
+    gauss.dim = 4;
+    gauss.num_clusters = 4;
+    gauss.cluster_tuples = 4000;
+    gauss.noise_tuples = 800;
+    gauss.max_subspace_dims = 3;
+    gauss.seed = 12;
+    out->push_back(MakeScenario("gauss4d", MakeGauss(gauss), 202).release());
+    return out;
+  }();
+  return *scenarios;
+}
+
+// One histogram implementation under test: a display name, the relative
+// tolerance for the full-domain-mass property, and a factory that builds
+// (and, for self-tuning variants, trains) an instance for a scenario.
+struct Impl {
+  std::string name;
+  double mass_rtol;
+  std::function<std::unique_ptr<Histogram>(const Scenario&)> make;
+};
+
+std::vector<Impl> AllImplementations() {
+  std::vector<Impl> impls;
+  impls.push_back({"trivial", 1e-9, [](const Scenario& s) {
+                     return std::make_unique<TrivialHistogram>(
+                         s.g.domain, static_cast<double>(s.g.data.size()));
+                   }});
+  impls.push_back({"equiwidth", 1e-9, [](const Scenario& s) {
+                     return std::make_unique<EquiWidthHistogram>(
+                         s.g.data, s.g.domain, /*cells_per_dim=*/8);
+                   }});
+  impls.push_back({"avi", 1e-9, [](const Scenario& s) {
+                     return std::make_unique<AviHistogram>(
+                         s.g.data, s.g.domain, /*buckets_per_dim=*/16);
+                   }});
+  impls.push_back({"sampling", 1e-9, [](const Scenario& s) {
+                     return std::make_unique<SamplingEstimator>(
+                         s.g.data, /*sample_size=*/1000, /*seed=*/5);
+                   }});
+  impls.push_back({"mhist", 1e-9, [](const Scenario& s) {
+                     MHistConfig config;
+                     return std::make_unique<MHistHistogram>(s.g.data,
+                                                             s.g.domain, config);
+                   }});
+  // Self-tuning histograms are trained on the scenario workload with true
+  // feedback; their full-domain mass tracks the dataset only approximately.
+  impls.push_back({"stgrid", 0.35, [](const Scenario& s) {
+                     STGridConfig config;
+                     auto h = std::make_unique<STGridHistogram>(
+                         s.g.domain, static_cast<double>(s.g.data.size()),
+                         config);
+                     Train(h.get(), s.train, *s.executor);
+                     return h;
+                   }});
+  impls.push_back({"isomer", 0.25, [](const Scenario& s) {
+                     IsomerConfig config;
+                     config.max_buckets = 60;
+                     auto h = std::make_unique<IsomerHistogram>(
+                         s.g.domain, static_cast<double>(s.g.data.size()),
+                         config);
+                     Train(h.get(), s.train, *s.executor);
+                     return h;
+                   }});
+  impls.push_back({"stholes", 0.25, [](const Scenario& s) {
+                     STHolesConfig config;
+                     config.max_buckets = 60;
+                     auto h = std::make_unique<STHoles>(
+                         s.g.domain, static_cast<double>(s.g.data.size()),
+                         config);
+                     Train(h.get(), s.train, *s.executor);
+                     return h;
+                   }});
+  return impls;
+}
+
+class HistogramPropertyTest : public ::testing::TestWithParam<Impl> {};
+
+TEST_P(HistogramPropertyTest, EstimatesAreFiniteAndNonNegative) {
+  for (const Scenario* s : Scenarios()) {
+    SCOPED_TRACE(s->name);
+    std::unique_ptr<Histogram> h = GetParam().make(*s);
+    for (const Box& q : s->eval) {
+      const double est = h->Estimate(q);
+      EXPECT_TRUE(std::isfinite(est)) << q.ToString();
+      EXPECT_GE(est, 0.0) << q.ToString();
+    }
+  }
+}
+
+TEST_P(HistogramPropertyTest, FullDomainMassApproximatesDatasetSize) {
+  for (const Scenario* s : Scenarios()) {
+    SCOPED_TRACE(s->name);
+    std::unique_ptr<Histogram> h = GetParam().make(*s);
+    const double n = static_cast<double>(s->g.data.size());
+    EXPECT_NEAR(h->Estimate(s->g.domain), n, GetParam().mass_rtol * n);
+  }
+}
+
+// q1 ⊆ q2 ⇒ Estimate(q1) <= Estimate(q2) + eps. Every implementation here
+// estimates as a non-negative-weighted sum of per-cell (or per-bucket-region,
+// or per-sample-point) coverage terms, each individually monotone in the
+// query box, so containment monotonicity is guaranteed up to rounding.
+TEST_P(HistogramPropertyTest, ContainmentMonotonicity) {
+  for (const Scenario* s : Scenarios()) {
+    SCOPED_TRACE(s->name);
+    std::unique_ptr<Histogram> h = GetParam().make(*s);
+    Rng rng(DeriveSeed(77, s->g.data.dim()));
+    for (const Box& q2 : s->eval) {
+      // Random shrink: each bound moves inward by at most 40% of the width,
+      // so q1 keeps positive volume and q1 ⊆ q2 holds by construction.
+      Box q1 = q2;
+      for (size_t d = 0; d < q2.dim(); ++d) {
+        const double width = q2.hi(d) - q2.lo(d);
+        const double lo = q2.lo(d) + rng.Uniform(0.0, 0.4) * width;
+        const double hi = q2.hi(d) - rng.Uniform(0.0, 0.4) * width;
+        q1.set_lo(d, lo);
+        q1.set_hi(d, std::max(hi, lo));
+      }
+      const double est2 = h->Estimate(q2);
+      const double est1 = h->Estimate(q1);
+      EXPECT_LE(est1, est2 + 1e-6 * (1.0 + est2))
+          << "q1=" << q1.ToString() << " q2=" << q2.ToString();
+    }
+  }
+}
+
+TEST_P(HistogramPropertyTest, EstimatesAreBitwiseDeterministic) {
+  for (const Scenario* s : Scenarios()) {
+    SCOPED_TRACE(s->name);
+    std::unique_ptr<Histogram> h = GetParam().make(*s);
+
+    // Scalar repeatability: a const Estimate must not drift call to call
+    // (lazy index builds and rejection counters may not perturb results).
+    std::vector<double> first;
+    first.reserve(s->eval.size());
+    for (const Box& q : s->eval) first.push_back(h->Estimate(q));
+    for (size_t i = 0; i < s->eval.size(); ++i) {
+      EXPECT_EQ(Bits(h->Estimate(s->eval[i])), Bits(first[i]))
+          << s->eval[i].ToString();
+    }
+
+    // Batched paths agree bitwise with the scalar path at any thread count.
+    const std::vector<double> serial = h->EstimateBatch(s->eval, 1);
+    const std::vector<double> threaded = h->EstimateBatch(s->eval, 4);
+    ASSERT_EQ(serial.size(), s->eval.size());
+    ASSERT_EQ(threaded.size(), s->eval.size());
+    for (size_t i = 0; i < s->eval.size(); ++i) {
+      EXPECT_EQ(Bits(serial[i]), Bits(first[i])) << s->eval[i].ToString();
+      EXPECT_EQ(Bits(threaded[i]), Bits(first[i])) << s->eval[i].ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHistograms, HistogramPropertyTest,
+                         ::testing::ValuesIn(AllImplementations()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace sthist

@@ -1,0 +1,303 @@
+// Differential suite for the indexed estimation paths (DESIGN.md §10): for
+// every histogram with a spatial bucket index, the indexed Estimate and the
+// batched EstimateBatch must be BITWISE identical to the retained linear-scan
+// reference (EstimateLinear) — across dimensionalities, seeds, and
+// drill/merge histories, and after serialization round-trips. Comparisons go
+// through std::bit_cast so even a sign-of-zero or last-ulp divergence fails.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/box.h"
+#include "core/rng.h"
+#include "data/generators.h"
+#include "histogram/histogram.h"
+#include "histogram/isomer.h"
+#include "histogram/mhist.h"
+#include "histogram/stgrid.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace sthist {
+namespace {
+
+uint64_t Bits(double x) { return std::bit_cast<uint64_t>(x); }
+
+::testing::AssertionResult BitEqual(double indexed, double linear) {
+  if (Bits(indexed) == Bits(linear)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "indexed=" << indexed << " (0x" << std::hex << Bits(indexed)
+         << ") linear=" << linear << " (0x" << Bits(linear) << ")";
+}
+
+// Indexed scalar path, indexed batch path (serial and threaded), and the
+// linear reference must all agree bitwise on every probe.
+void ExpectAllPathsBitEqual(const Histogram& h, const Workload& probes) {
+  const std::vector<double> batch1 = h.EstimateBatch(probes, 1);
+  const std::vector<double> batch8 = h.EstimateBatch(probes, 8);
+  ASSERT_EQ(batch1.size(), probes.size());
+  ASSERT_EQ(batch8.size(), probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const double linear = h.EstimateLinear(probes[i]);
+    EXPECT_TRUE(BitEqual(h.Estimate(probes[i]), linear))
+        << "scalar, probe " << i << ": " << probes[i].ToString();
+    EXPECT_TRUE(BitEqual(batch1[i], linear))
+        << "batch(1), probe " << i << ": " << probes[i].ToString();
+    EXPECT_TRUE(BitEqual(batch8[i], linear))
+        << "batch(8), probe " << i << ": " << probes[i].ToString();
+  }
+}
+
+GeneratedData MakeCrossData(size_t dim, uint64_t seed) {
+  CrossConfig config;
+  config.dim = dim;
+  config.tuples_per_cluster = dim <= 2 ? 1500 : 600;
+  config.noise_tuples = 300;
+  config.seed = seed;
+  return MakeCross(config);
+}
+
+// Probes include training-scale boxes, larger boxes, and the full domain.
+Workload MakeProbes(const Box& domain, uint64_t seed, size_t count = 40) {
+  WorkloadConfig wc;
+  wc.num_queries = count;
+  wc.volume_fraction = 0.01;
+  wc.seed = DeriveSeed(seed, 0);
+  Workload probes = MakeWorkload(domain, wc);
+  wc.num_queries = count / 4;
+  wc.volume_fraction = 0.2;
+  wc.seed = DeriveSeed(seed, 1);
+  Workload big = MakeWorkload(domain, wc);
+  probes.insert(probes.end(), big.begin(), big.end());
+  probes.push_back(domain);
+  return probes;
+}
+
+// ---------------------------------------------------------------------------
+// STHoles
+
+class STHolesDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t, size_t>> {};
+
+// Drives a full refinement history and checks indexed-vs-linear identity as
+// the bucket tree evolves. The small budget forces merges (index rebuilds);
+// the large one keeps drills pure appends (incremental index inserts).
+TEST_P(STHolesDifferentialTest, IndexedMatchesLinearAcrossHistory) {
+  const auto [dim, seed, budget] = GetParam();
+  GeneratedData g = MakeCrossData(dim, seed);
+  Executor executor(g.data);
+
+  STHolesConfig config;
+  config.max_buckets = budget;
+  STHoles h(g.domain, static_cast<double>(g.data.size()), config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 80;
+  wc.seed = DeriveSeed(seed, 10);
+  Workload train = MakeWorkload(g.domain, wc);
+  Workload probes = MakeProbes(g.domain, seed + 1, 20);
+
+  for (size_t i = 0; i < train.size(); ++i) {
+    h.Refine(train[i], executor);
+    // Cheap spot-check after every structural change; rotate through the
+    // probe set so each probe is exercised against many tree shapes.
+    for (size_t k = 0; k < 3; ++k) {
+      const Box& q = probes[(3 * i + k) % probes.size()];
+      EXPECT_TRUE(BitEqual(h.Estimate(q), h.EstimateLinear(q)))
+          << "refine " << i << ", probe " << q.ToString();
+    }
+  }
+  h.CheckInvariants();
+  ExpectAllPathsBitEqual(h, probes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, STHolesDifferentialTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 3, 5),
+                       ::testing::Values<uint64_t>(21, 77),
+                       ::testing::Values<size_t>(12, 500)),
+    [](const auto& info) {
+      return "dim" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param)) + "_budget" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(STHolesDifferentialTest, SerializationRoundTripPreservesIdentity) {
+  GeneratedData g = MakeCrossData(3, 5);
+  Executor executor(g.data);
+
+  STHolesConfig config;
+  config.max_buckets = 40;
+  STHoles h(g.domain, static_cast<double>(g.data.size()), config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 120;
+  wc.seed = 9;
+  for (const Box& q : MakeWorkload(g.domain, wc)) h.Refine(q, executor);
+
+  auto loaded = STHoles::Deserialize(h.Serialize(), config);
+  ASSERT_NE(loaded, nullptr);
+  loaded->CheckInvariants();
+
+  Workload probes = MakeProbes(g.domain, 13);
+  // The reconstructed histogram estimates bit-exactly like the original,
+  // and its freshly built index matches its own linear scan.
+  for (const Box& q : probes) {
+    EXPECT_TRUE(BitEqual(loaded->Estimate(q), h.Estimate(q))) << q.ToString();
+  }
+  ExpectAllPathsBitEqual(*loaded, probes);
+}
+
+// ---------------------------------------------------------------------------
+// ISOMER
+
+class IsomerDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t, size_t>> {};
+
+TEST_P(IsomerDifferentialTest, IndexedMatchesLinearAcrossHistory) {
+  const auto [dim, seed, budget] = GetParam();
+  GeneratedData g = MakeCrossData(dim, seed);
+  Executor executor(g.data);
+
+  IsomerConfig config;
+  config.max_buckets = budget;
+  IsomerHistogram h(g.domain, static_cast<double>(g.data.size()), config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 50;
+  wc.seed = DeriveSeed(seed, 20);
+  Workload train = MakeWorkload(g.domain, wc);
+  Workload probes = MakeProbes(g.domain, seed + 2, 20);
+
+  for (size_t i = 0; i < train.size(); ++i) {
+    h.Refine(train[i], executor);
+    for (size_t k = 0; k < 3; ++k) {
+      const Box& q = probes[(3 * i + k) % probes.size()];
+      EXPECT_TRUE(BitEqual(h.Estimate(q), h.EstimateLinear(q)))
+          << "refine " << i << ", probe " << q.ToString();
+    }
+  }
+  ExpectAllPathsBitEqual(h, probes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IsomerDifferentialTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 3),
+                       ::testing::Values<uint64_t>(21, 77),
+                       ::testing::Values<size_t>(15, 300)),
+    [](const auto& info) {
+      return "dim" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param)) + "_budget" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Const estimation (scalar or batched) must not perturb the learning
+// trajectory: a histogram hammered with estimates between refinements ends
+// bitwise identical to an untouched twin fed the same refinement sequence.
+TEST(IsomerDifferentialTest, ConstEstimationDoesNotPerturbLearning) {
+  GeneratedData g = MakeCrossData(2, 31);
+  Executor executor(g.data);
+
+  IsomerConfig config;
+  config.max_buckets = 40;
+  const double n = static_cast<double>(g.data.size());
+  IsomerHistogram queried(g.domain, n, config);
+  IsomerHistogram untouched(g.domain, n, config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 40;
+  wc.seed = 41;
+  Workload train = MakeWorkload(g.domain, wc);
+  Workload probes = MakeProbes(g.domain, 43, 12);
+
+  for (size_t i = 0; i < train.size(); ++i) {
+    for (size_t k = 0; k < 4; ++k) {
+      (void)queried.Estimate(probes[(4 * i + k) % probes.size()]);
+    }
+    if (i % 5 == 0) (void)queried.EstimateBatch(probes, 4);
+    queried.Refine(train[i], executor);
+    untouched.Refine(train[i], executor);
+  }
+  for (const Box& q : probes) {
+    EXPECT_TRUE(BitEqual(queried.Estimate(q), untouched.Estimate(q)))
+        << q.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MHist
+
+TEST(MHistDifferentialTest, IndexedMatchesLinear) {
+  for (size_t dim : {2, 3}) {
+    SCOPED_TRACE(dim);
+    GeneratedData g = MakeCrossData(dim, 15);
+    MHistConfig config;
+    MHistHistogram h(g.data, g.domain, config);
+
+    Workload probes = MakeProbes(g.domain, 17);
+    // Degenerate probes (zero extent in one dimension) and probes whose
+    // boundaries touch bucket edges exercise the closed-overlap probe mode.
+    Rng rng(19);
+    for (size_t i = 0; i < 20; ++i) {
+      Box q = Box::Cube(dim, 0.0, 1.0);
+      for (size_t d = 0; d < dim; ++d) {
+        const double lo = rng.Uniform(g.domain.lo(d), g.domain.hi(d));
+        const double extent =
+            rng.Bernoulli(0.4) ? 0.0
+                               : rng.Uniform(0.0, g.domain.Extent(d) * 0.3);
+        q.set_lo(d, lo);
+        q.set_hi(d, lo + extent);
+      }
+      probes.push_back(q);
+    }
+    ExpectAllPathsBitEqual(h, probes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// STGrid
+
+TEST(STGridDifferentialTest, GridProbeMatchesFullTensorScan) {
+  GeneratedData g = MakeCrossData(2, 25);
+  Executor executor(g.data);
+
+  STGridConfig config;
+  STGridHistogram h(g.domain, static_cast<double>(g.data.size()), config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 100;
+  wc.seed = 27;
+  Workload train = MakeWorkload(g.domain, wc);
+  Workload probes = MakeProbes(g.domain, 29);
+  // Probes reaching beyond the domain boundary: the out-of-domain portion
+  // must contribute exactly zero on both paths.
+  for (size_t d = 0; d < 2; ++d) {
+    Box beyond = g.domain;
+    beyond.set_hi(d, g.domain.hi(d) + g.domain.Extent(d));
+    probes.push_back(beyond);
+    Box below = g.domain;
+    below.set_lo(d, g.domain.lo(d) - g.domain.Extent(d));
+    probes.push_back(below);
+  }
+
+  for (size_t i = 0; i < train.size(); ++i) {
+    h.Refine(train[i], executor);
+    if (i % 10 == 0) {
+      for (const Box& q : probes) {
+        EXPECT_TRUE(BitEqual(h.Estimate(q), h.EstimateLinear(q)))
+            << "refine " << i << ", probe " << q.ToString();
+      }
+    }
+  }
+  ExpectAllPathsBitEqual(h, probes);
+}
+
+}  // namespace
+}  // namespace sthist

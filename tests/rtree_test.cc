@@ -1,0 +1,204 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "core/box.h"
+#include "core/rng.h"
+
+namespace sthist {
+namespace {
+
+// Reference predicate for BoxOverlap::kClosed: closed intervals intersect in
+// every dimension (touching boundaries and zero-extent boxes count).
+bool ClosedOverlap(const Box& a, const Box& b) {
+  for (size_t d = 0; d < a.dim(); ++d) {
+    if (a.lo(d) > b.hi(d) || b.lo(d) > a.hi(d)) return false;
+  }
+  return true;
+}
+
+// Random box inside [0, 110)^dim; with probability `degenerate_p` each
+// dimension independently collapses to zero extent.
+Box RandomBox(size_t dim, Rng* rng, double degenerate_p = 0.0) {
+  Box box = Box::Cube(dim, 0.0, 1.0);
+  for (size_t d = 0; d < dim; ++d) {
+    const double lo = rng->Uniform(0.0, 80.0);
+    const double extent =
+        rng->Bernoulli(degenerate_p) ? 0.0 : rng->Uniform(0.0, 30.0);
+    box.set_lo(d, lo);
+    box.set_hi(d, lo + extent);
+  }
+  return box;
+}
+
+std::vector<uint64_t> BruteProbe(const std::vector<RTree::Entry>& entries,
+                                 const Box& query, BoxOverlap mode) {
+  std::vector<uint64_t> out;
+  for (const RTree::Entry& e : entries) {
+    const bool hit = mode == BoxOverlap::kOpenInterior
+                         ? e.box.Intersects(query)
+                         : ClosedOverlap(e.box, query);
+    if (hit) out.push_back(e.id);
+  }
+  return out;
+}
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void ExpectProbesMatchBruteForce(const RTree& tree,
+                                 const std::vector<RTree::Entry>& entries,
+                                 size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < 200; ++i) {
+    const Box query = RandomBox(dim, &rng, /*degenerate_p=*/0.1);
+    for (BoxOverlap mode : {BoxOverlap::kOpenInterior, BoxOverlap::kClosed}) {
+      std::vector<uint64_t> got;
+      tree.Probe(query, mode, &got);
+      EXPECT_EQ(Sorted(std::move(got)), Sorted(BruteProbe(entries, query, mode)))
+          << "dim=" << dim << " query=" << query.ToString()
+          << " mode=" << (mode == BoxOverlap::kClosed ? "closed" : "open");
+    }
+  }
+}
+
+TEST(RTreeTest, EmptyTreeProbesNothing) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  std::vector<uint64_t> out;
+  tree.Probe(Box::Cube(3, 0.0, 100.0), BoxOverlap::kOpenInterior, &out);
+  tree.Probe(Box::Cube(3, 0.0, 100.0), BoxOverlap::kClosed, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, ProbeAppendsWithoutClearing) {
+  RTree tree;
+  tree.Insert(Box::Cube(2, 0.0, 10.0), 7);
+  std::vector<uint64_t> out = {42};
+  tree.Probe(Box::Cube(2, 1.0, 2.0), BoxOverlap::kOpenInterior, &out);
+  EXPECT_EQ(out, (std::vector<uint64_t>{42, 7}));
+}
+
+class RTreeRandomTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t, size_t>> {};
+
+TEST_P(RTreeRandomTest, BulkMatchesBruteForce) {
+  const auto [dim, seed, count] = GetParam();
+  Rng rng(seed);
+  std::vector<RTree::Entry> entries;
+  for (size_t i = 0; i < count; ++i) {
+    entries.push_back({RandomBox(dim, &rng, /*degenerate_p=*/0.05), i});
+  }
+  RTree tree;
+  tree.Bulk(entries);
+  EXPECT_EQ(tree.size(), entries.size());
+  ExpectProbesMatchBruteForce(tree, entries, dim, seed ^ 0x9e3779b9);
+}
+
+TEST_P(RTreeRandomTest, InsertMatchesBruteForce) {
+  const auto [dim, seed, count] = GetParam();
+  Rng rng(seed);
+  std::vector<RTree::Entry> entries;
+  RTree tree;
+  for (size_t i = 0; i < count; ++i) {
+    entries.push_back({RandomBox(dim, &rng, /*degenerate_p=*/0.05), i});
+    tree.Insert(entries.back().box, entries.back().id);
+  }
+  EXPECT_EQ(tree.size(), entries.size());
+  ExpectProbesMatchBruteForce(tree, entries, dim, seed ^ 0x51ed270b);
+}
+
+TEST_P(RTreeRandomTest, BulkThenInsertMatchesBruteForce) {
+  const auto [dim, seed, count] = GetParam();
+  Rng rng(seed);
+  std::vector<RTree::Entry> entries;
+  for (size_t i = 0; i < count; ++i) {
+    entries.push_back({RandomBox(dim, &rng, /*degenerate_p=*/0.05), i});
+  }
+  RTree tree;
+  const size_t half = count / 2;
+  tree.Bulk({entries.begin(), entries.begin() + half});
+  for (size_t i = half; i < count; ++i) {
+    tree.Insert(entries[i].box, entries[i].id);
+  }
+  EXPECT_EQ(tree.size(), entries.size());
+  ExpectProbesMatchBruteForce(tree, entries, dim, seed ^ 0xc2b2ae35);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreeRandomTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 3, 5),
+                       ::testing::Values<uint64_t>(3, 17),
+                       ::testing::Values<size_t>(1, 7, 64, 400)),
+    [](const auto& info) {
+      return "dim" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param)) + "_n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(RTreeTest, DegenerateEntryProbeModes) {
+  RTree tree;
+  Box inside = Box::Cube(2, 5.0, 5.0);    // Zero extent, strictly interior.
+  Box boundary = Box::Cube(2, 10.0, 10.0);  // Zero extent, on the boundary.
+  tree.Insert(inside, 1);
+  tree.Insert(boundary, 2);
+  Box covering = Box::Cube(2, 0.0, 10.0);
+  std::vector<uint64_t> open, closed;
+  tree.Probe(covering, BoxOverlap::kOpenInterior, &open);
+  tree.Probe(covering, BoxOverlap::kClosed, &closed);
+  // Box::Intersects (the kOpenInterior predicate) admits a degenerate box
+  // strictly inside the query but rejects one touching its boundary; the
+  // closed mode admits both.
+  EXPECT_EQ(open, std::vector<uint64_t>{1});
+  EXPECT_EQ(Sorted(std::move(closed)), (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(RTreeTest, TouchingBoxesVisibleOnlyToClosedProbes) {
+  RTree tree;
+  Box left = Box::Cube(2, 0.0, 5.0);
+  tree.Insert(left, 1);
+  Box touching = Box::Cube(2, 5.0, 10.0);  // Shares only the corner at (5,5).
+  std::vector<uint64_t> open, closed;
+  tree.Probe(touching, BoxOverlap::kOpenInterior, &open);
+  tree.Probe(touching, BoxOverlap::kClosed, &closed);
+  EXPECT_TRUE(open.empty());
+  EXPECT_EQ(closed, std::vector<uint64_t>{1});
+}
+
+TEST(RTreeTest, ClearResetsToEmpty) {
+  Rng rng(5);
+  RTree tree;
+  for (uint64_t i = 0; i < 50; ++i) tree.Insert(RandomBox(3, &rng), i);
+  EXPECT_EQ(tree.size(), 50u);
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  std::vector<uint64_t> out;
+  tree.Probe(Box::Cube(3, 0.0, 200.0), BoxOverlap::kClosed, &out);
+  EXPECT_TRUE(out.empty());
+  // The tree is reusable after Clear.
+  tree.Insert(Box::Cube(3, 0.0, 1.0), 9);
+  tree.Probe(Box::Cube(3, 0.0, 200.0), BoxOverlap::kClosed, &out);
+  EXPECT_EQ(out, std::vector<uint64_t>{9});
+}
+
+TEST(RTreeTest, DuplicateBoxesAllReported) {
+  RTree tree;
+  Box box = Box::Cube(2, 1.0, 2.0);
+  for (uint64_t i = 0; i < 20; ++i) tree.Insert(box, i);
+  std::vector<uint64_t> out;
+  tree.Probe(box, BoxOverlap::kOpenInterior, &out);
+  std::vector<uint64_t> want(20);
+  for (uint64_t i = 0; i < 20; ++i) want[i] = i;
+  EXPECT_EQ(Sorted(std::move(out)), want);
+}
+
+}  // namespace
+}  // namespace sthist

@@ -318,7 +318,7 @@ Status RunExperiment(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
       {STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS, STHIST_FAULT_FLAGS,
        "buckets", "train", "sim", "volume", "init", "reversed", "freeze",
-       "data-centers"}));
+       "data-centers", "batch"}));
   StatusOr<GeneratedData> g = ResolveDataset(flags);
   if (!g.ok()) return g.status();
   STHIST_RETURN_IF_ERROR(MaybeInjectDataFaults(flags, &*g));
@@ -336,6 +336,12 @@ Status RunExperiment(const Flags& flags) {
   config.faults = FaultsFromFlags(flags);
   if (flags.Has("data-centers")) {
     config.centers = CenterDistribution::kData;
+  }
+  // Batched estimation for the measurement passes. Bare --batch means
+  // hardware concurrency (0); --batch N pins the worker count. Estimates are
+  // bitwise-identical at any value — this is purely a throughput knob.
+  if (flags.Has("batch")) {
+    config.estimate_threads = flags.Size("batch", 0);
   }
   if (config.faults.rate < 0.0 || config.faults.rate > 1.0) {
     return StatusF(StatusCode::kInvalidArgument,
@@ -513,6 +519,9 @@ void PrintUsage() {
       "              --buckets N --train N --sim N --volume F [--init]\n"
       "              [--reversed] [--freeze] [--data-centers] + cluster "
       "flags\n"
+      "              [--batch [N]] batch measurement estimates over N\n"
+      "              threads (bare --batch = all cores); same results,\n"
+      "              faster measurement\n"
       "              fault injection: --fault-rate R --fault-seed S\n"
       "              --fault-noise F [--fault-data]\n"
       "  sweep       run a grid of experiment cells across threads\n"
