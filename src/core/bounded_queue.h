@@ -1,0 +1,99 @@
+#ifndef STHIST_CORE_BOUNDED_QUEUE_H_
+#define STHIST_CORE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+
+namespace sthist {
+
+/// Bounded multi-producer queue with batched consumption, the feedback
+/// channel of the serving layer (DESIGN.md §11).
+///
+/// Producers never block: when the queue is at capacity `TryPush` refuses the
+/// item and the caller decides what to do with the rejection (the service
+/// counts it as a drop — admission control by shedding the newest feedback,
+/// never by stalling a query thread). The consumer blocks in `PopBatch` until
+/// items arrive or the queue is closed, and drains up to a whole batch per
+/// wakeup so a backlogged refiner amortizes its lock traffic.
+///
+/// Safe for any number of producers and consumers; the serving layer uses it
+/// MPSC (many feedback submitters, one refiner).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    STHIST_CHECK(capacity > 0);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item` unless the queue is full or closed. Returns whether the
+  /// item was accepted; never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_cv_.notify_one();
+    return true;
+  }
+
+  /// Moves up to `max_items` into `*out` (appended; existing contents are
+  /// cleared first), blocking until at least one item is available or the
+  /// queue is closed. Returns the number popped — 0 only when the queue is
+  /// closed and fully drained, the consumer's termination signal.
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    STHIST_CHECK(max_items > 0);
+    out->clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    size_t n = std::min(max_items, items_.size());
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return n;
+  }
+
+  /// Closes the queue: subsequent pushes are refused, and consumers drain
+  /// what remains before PopBatch returns 0. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_cv_.notify_all();
+  }
+
+  /// Instantaneous item count (advisory under concurrency).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;  // Signals consumers: item or closed.
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_CORE_BOUNDED_QUEUE_H_

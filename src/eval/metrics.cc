@@ -1,5 +1,6 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/check.h"
@@ -59,6 +60,27 @@ double NormalizedAbsoluteError(double mean_absolute_error, const Box& domain,
   double base = MeanAbsoluteError(trivial, workload, oracle);
   STHIST_CHECK_MSG(base > 0.0, "trivial histogram has zero error");
   return mean_absolute_error / base;
+}
+
+SensitivityResult PermutationSensitivity(
+    const std::function<std::unique_ptr<Histogram>()>& make_histogram,
+    const Workload& train, const Workload& probes,
+    const CardinalityOracle& oracle, std::span<const uint64_t> perm_seeds) {
+  STHIST_CHECK(!train.empty());
+  auto trained_error = [&](const Workload& order) {
+    std::unique_ptr<Histogram> hist = make_histogram();
+    STHIST_CHECK(hist != nullptr);
+    Train(hist.get(), order, oracle);
+    return MeanAbsoluteError(*hist, probes, oracle);
+  };
+  SensitivityResult result;
+  result.base_error = trained_error(train);
+  for (uint64_t seed : perm_seeds) {
+    double err = trained_error(Permuted(train, seed));
+    result.max_delta =
+        std::max(result.max_delta, std::abs(err - result.base_error));
+  }
+  return result;
 }
 
 }  // namespace sthist

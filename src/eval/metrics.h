@@ -1,6 +1,11 @@
 #ifndef STHIST_EVAL_METRICS_H_
 #define STHIST_EVAL_METRICS_H_
 
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+
 #include "histogram/histogram.h"
 #include "workload/workload.h"
 
@@ -47,6 +52,30 @@ void Train(Histogram* hist, const Workload& workload,
 double NormalizedAbsoluteError(double mean_absolute_error, const Box& domain,
                                double total_tuples, const Workload& workload,
                                const CardinalityOracle& oracle);
+
+/// The paper's Definition-1 permutation-sensitivity measurement, packaged so
+/// regression tests can pin it: how much a histogram's final error moves when
+/// the learning workload is reordered.
+struct SensitivityResult {
+  /// Error after training on the workload in its given order.
+  double base_error = 0.0;
+  /// max over the permutations of |error(π(W)) - base_error|.
+  double max_delta = 0.0;
+  /// max_delta / base_error — the scale-free number to pin in regression
+  /// tests (delta-sensitivity relative to the unpermuted error). NaN when
+  /// base_error is 0.
+  double relative() const { return max_delta / base_error; }
+};
+
+/// Trains one independently constructed histogram per ordering — the given
+/// `train` plus one Permuted(train, seed) per seed — and measures each with
+/// MeanAbsoluteError over `probes` (no refinement during measurement).
+/// `make_histogram` must return a fresh histogram in the same initial state
+/// on every call; determinism of the result follows from the factory's.
+SensitivityResult PermutationSensitivity(
+    const std::function<std::unique_ptr<Histogram>()>& make_histogram,
+    const Workload& train, const Workload& probes,
+    const CardinalityOracle& oracle, std::span<const uint64_t> perm_seeds);
 
 }  // namespace sthist
 

@@ -2,6 +2,7 @@
 #define STHIST_HISTOGRAM_HISTOGRAM_H_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -86,6 +87,15 @@ class Histogram {
   /// allowed (same contract as RunSweep — see DESIGN.md §9).
   virtual std::vector<double> EstimateBatch(std::span<const Box> queries,
                                             size_t threads = 0) const;
+
+  /// Deep, independent copy of this histogram, the snapshot primitive of the
+  /// serving layer (DESIGN.md §11). The contract: the clone's Estimate /
+  /// EstimateLinear are bitwise-identical to the source's at the moment of
+  /// cloning, the clone shares no mutable state with the source (refining
+  /// either never affects the other), and internal acceleration caches start
+  /// cold. Returns nullptr for implementations that do not (yet) support
+  /// snapshotting — callers that require clones must check.
+  virtual std::unique_ptr<Histogram> Clone() const { return nullptr; }
 
   /// Query-feedback refinement hook, invoked after `query` has executed.
   /// `oracle` can count tuples in sub-rectangles of the query (and, for this

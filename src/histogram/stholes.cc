@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <mutex>
 
@@ -603,6 +604,29 @@ std::vector<STHoles::BucketInfo> STHoles::Dump() const {
   return out;
 }
 
+std::unique_ptr<STHoles::Bucket> STHoles::CopySubtree(const Bucket& b) {
+  auto copy = std::make_unique<Bucket>();
+  copy->box = b.box;
+  copy->frequency = b.frequency;
+  copy->children.reserve(b.children.size());
+  for (const auto& child : b.children) {
+    copy->children.push_back(CopySubtree(*child));
+  }
+  return copy;
+}
+
+std::unique_ptr<Histogram> STHoles::Clone() const {
+  auto clone = std::unique_ptr<STHoles>(
+      new STHoles(root_->box, root_->frequency, config_));
+  clone->root_ = CopySubtree(*root_);
+  clone->bucket_count_ = bucket_count_;
+  // Fold the estimate-path rejections (held as an atomic in IndexState) into
+  // the clone's plain counters so its robustness() totals match the source's
+  // at the moment of cloning; the clone's own IndexState starts at zero.
+  clone->stats_ = robustness();
+  return clone;
+}
+
 std::string STHoles::Serialize() const {
   std::string out = "STHoles v1 dim=" + std::to_string(root_->box.dim()) +
                     " buckets=" + std::to_string(bucket_count_) + "\n";
@@ -635,6 +659,12 @@ std::unique_ptr<STHoles> STHoles::Deserialize(const std::string& text,
       dim == 0 || buckets == 0) {
     return nullptr;
   }
+  // Size sanity before any allocation scales with the header's claims: every
+  // bucket line carries at least 2*dim numbers separated by spaces (>= 4
+  // characters per dimension) plus a depth, so headers promising more than
+  // the text could possibly hold are corrupt — reject them instead of
+  // attempting a multi-gigabyte reserve.
+  if (dim > text.size() / 4 || buckets > text.size()) return nullptr;
 
   const char* cursor = text.c_str() + header_len;
   std::unique_ptr<STHoles> hist;
@@ -651,7 +681,12 @@ std::unique_ptr<STHoles> STHoles::Deserialize(const std::string& text,
       if (std::sscanf(cursor, "%lf %lf%n", &lo[d], &hi[d], &consumed) != 2) {
         return nullptr;
       }
-      if (lo[d] > hi[d]) return nullptr;
+      // Explicit finiteness checks: scanf happily parses "nan" and "inf",
+      // and NaN slips through ordering comparisons (NaN > x is false), so
+      // `lo > hi` alone would admit poisoned bounds.
+      if (!std::isfinite(lo[d]) || !std::isfinite(hi[d]) || lo[d] > hi[d]) {
+        return nullptr;
+      }
       cursor += consumed;
     }
     double frequency = 0.0;
@@ -659,7 +694,7 @@ std::unique_ptr<STHoles> STHoles::Deserialize(const std::string& text,
       return nullptr;
     }
     cursor += consumed;
-    if (frequency < 0.0) return nullptr;
+    if (!std::isfinite(frequency) || frequency < 0.0) return nullptr;
 
     if (line == 0) {
       if (depth != 0) return nullptr;
@@ -686,6 +721,10 @@ std::unique_ptr<STHoles> STHoles::Deserialize(const std::string& text,
     path.resize(depth);
     path.push_back(raw);
   }
+  // The header's bucket count is the whole payload; anything besides
+  // trailing whitespace after the last bucket line is corruption.
+  cursor += std::strspn(cursor, " \t\r\n");
+  if (*cursor != '\0') return nullptr;
   return hist;
 }
 

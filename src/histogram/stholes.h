@@ -70,6 +70,14 @@ class STHoles : public Histogram {
   /// bumping the corresponding robustness() counter.
   void Refine(const Box& query, const CardinalityOracle& oracle) override;
 
+  /// Deep copy of the bucket tree, configuration, and degradation counters.
+  /// Estimates of the clone are bitwise-identical to the source's (same
+  /// frequencies, boxes, and child order, so the same floating-point
+  /// expressions evaluate); the clone's bucket index starts cold and is
+  /// rebuilt lazily on its own estimates. This is the snapshot hook the
+  /// serving layer publishes through (DESIGN.md §11).
+  std::unique_ptr<Histogram> Clone() const override;
+
   /// Degradation counters accumulated since construction.
   RobustnessStats robustness() const override;
 
@@ -113,6 +121,11 @@ class STHoles : public Histogram {
 
  private:
   struct Bucket;
+
+  // Deep copy of a bucket subtree, preserving child order (estimation sums
+  // in child order, so order preservation is what makes clone estimates
+  // bitwise equal to the source's).
+  static std::unique_ptr<Bucket> CopySubtree(const Bucket& b);
 
   // --- Geometry over the bucket tree ---
   // Volume of the bucket's region (box minus child boxes).

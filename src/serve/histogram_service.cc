@@ -1,0 +1,128 @@
+#include "serve/histogram_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/check.h"
+
+namespace sthist {
+
+HistogramService::HistogramService(std::unique_ptr<Histogram> initial,
+                                   const CardinalityOracle& oracle,
+                                   const ServiceConfig& config)
+    : config_(config),
+      oracle_(oracle),
+      working_(std::move(initial)),
+      queue_(config.queue_capacity) {
+  STHIST_CHECK(working_ != nullptr);
+  STHIST_CHECK(config_.publish_batch > 0);
+  std::shared_ptr<const Histogram> first(working_->Clone());
+  STHIST_CHECK_MSG(first != nullptr,
+                   "HistogramService needs a histogram supporting Clone()");
+  snapshot_.store(std::move(first));
+  refiner_ = std::thread([this] { RefinerLoop(); });
+}
+
+HistogramService::~HistogramService() { Stop(); }
+
+double HistogramService::Estimate(const Box& query) const {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  return snapshot_.load()->Estimate(query);
+}
+
+std::vector<double> HistogramService::EstimateBatch(
+    std::span<const Box> queries) const {
+  reads_.fetch_add(queries.size(), std::memory_order_relaxed);
+  // One load: the whole batch is answered by a single epoch even if a
+  // publish lands while it runs.
+  std::shared_ptr<const Histogram> snap = snapshot_.load();
+  return snap->EstimateBatch(queries, config_.estimate_threads);
+}
+
+std::shared_ptr<const Histogram> HistogramService::snapshot() const {
+  return snapshot_.load();
+}
+
+bool HistogramService::SubmitFeedback(const Box& query) {
+  if (queue_.TryPush(query)) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void HistogramService::RefinerLoop() {
+  std::vector<Box> batch;
+  while (queue_.PopBatch(&batch, config_.publish_batch) > 0) {
+    for (const Box& feedback : batch) {
+      working_->Refine(feedback, oracle_);
+      applied_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Publish once per applied batch: under load that is one clone per
+    // publish_batch items, when idle one per item — the queue being the
+    // batching mechanism means freshness degrades only when throughput
+    // actually demands it.
+    Publish();
+  }
+}
+
+void HistogramService::Publish() {
+  auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<const Histogram> snap(working_->Clone());
+  STHIST_CHECK(snap != nullptr);
+  snapshot_.store(std::move(snap));
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  published_feedback_.store(applied_.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  {
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    last_publish_seconds_ = seconds;
+    if (seconds > max_publish_seconds_) max_publish_seconds_ = seconds;
+  }
+  publish_cv_.notify_all();
+}
+
+void HistogramService::Drain() {
+  // The horizon is the feedback accepted so far; every accepted item leads
+  // to a later publish (each refiner batch ends in one), whose notify
+  // re-evaluates the predicate under publish_mutex_.
+  std::unique_lock<std::mutex> lock(publish_mutex_);
+  publish_cv_.wait(lock, [this] {
+    return published_feedback_.load(std::memory_order_relaxed) >=
+           accepted_.load(std::memory_order_relaxed);
+  });
+}
+
+void HistogramService::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  queue_.Close();
+  if (refiner_.joinable()) refiner_.join();
+}
+
+ServiceStats HistogramService::stats() const {
+  ServiceStats s;
+  s.reads_served = reads_.load(std::memory_order_relaxed);
+  s.feedback_accepted = accepted_.load(std::memory_order_relaxed);
+  s.feedback_dropped = dropped_.load(std::memory_order_relaxed);
+  s.feedback_applied = applied_.load(std::memory_order_relaxed);
+  s.snapshot_epoch = epoch_.load(std::memory_order_relaxed);
+  s.publishes = s.snapshot_epoch;
+  s.queue_depth = queue_.size();
+  size_t published = published_feedback_.load(std::memory_order_relaxed);
+  s.staleness =
+      s.feedback_accepted > published ? s.feedback_accepted - published : 0;
+  {
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    s.last_publish_seconds = last_publish_seconds_;
+    s.max_publish_seconds = max_publish_seconds_;
+  }
+  return s;
+}
+
+}  // namespace sthist

@@ -1,0 +1,169 @@
+#ifndef STHIST_SERVE_HISTOGRAM_SERVICE_H_
+#define STHIST_SERVE_HISTOGRAM_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/bounded_queue.h"
+#include "core/box.h"
+#include "histogram/histogram.h"
+
+namespace sthist {
+
+/// Tuning knobs for HistogramService.
+struct ServiceConfig {
+  /// Feedback queue capacity. A full queue sheds the newest feedback
+  /// (SubmitFeedback returns false, the drop counter bumps) rather than ever
+  /// stalling a query thread — estimation latency is the contract, feedback
+  /// is best-effort.
+  size_t queue_capacity = 4096;
+
+  /// Maximum feedback items the refiner applies between snapshot publishes
+  /// (the staleness/throughput dial). A publish also happens whenever the
+  /// queue drains, so a lightly loaded service stays near-fresh and a
+  /// backlogged one amortizes the clone cost over up to this many items.
+  size_t publish_batch = 64;
+
+  /// Threads for EstimateBatch on the served snapshot (0 = hardware
+  /// concurrency, 1 = inline), forwarded to Histogram::EstimateBatch.
+  size_t estimate_threads = 1;
+};
+
+/// Service counters, the serving-layer sibling of RobustnessStats: one
+/// consistent-enough view of what the service has done so far. Counters are
+/// sampled individually from relaxed atomics — totals can be one event apart
+/// under concurrency, exact once the service is quiescent (after Drain or
+/// Stop).
+struct ServiceStats {
+  /// Queries served from published snapshots (Estimate + EstimateBatch).
+  size_t reads_served = 0;
+  /// Feedback items admitted to the queue.
+  size_t feedback_accepted = 0;
+  /// Feedback items shed: queue full, or submitted after Stop.
+  size_t feedback_dropped = 0;
+  /// Feedback items folded into the refiner's working copy.
+  size_t feedback_applied = 0;
+  /// Published snapshot generation; the initial snapshot is epoch 0 and
+  /// every publish increments it.
+  size_t snapshot_epoch = 0;
+  /// Publishes performed (snapshot_epoch restated for readability).
+  size_t publishes = 0;
+  /// Feedback items currently waiting in the queue.
+  size_t queue_depth = 0;
+  /// Accepted feedback not yet visible to readers (queued, or applied to
+  /// the working copy but not yet published). 0 means readers see every
+  /// accepted item.
+  size_t staleness = 0;
+  /// Wall-clock cost of the most recent / the worst snapshot publish
+  /// (clone + pointer swap), seconds.
+  double last_publish_seconds = 0.0;
+  double max_publish_seconds = 0.0;
+};
+
+/// Snapshot-isolated histogram serving (DESIGN.md §11).
+///
+/// Concurrent readers estimate against an immutable published snapshot
+/// (`std::shared_ptr<const Histogram>` behind an atomic), while one refiner
+/// thread drains a bounded feedback queue, applies Refine to a private
+/// working copy nothing else can see, and publishes a fresh clone at the
+/// configured cadence. Readers never block on refinement and refinement
+/// never blocks on readers; a reader holding a snapshot keeps it alive after
+/// newer epochs supersede it.
+///
+/// Determinism: feedback is applied in queue (FIFO) order against the same
+/// oracle a serial loop would use, so after Drain/Stop the published
+/// snapshot's estimates are bitwise-identical to a single-threaded replay of
+/// the accepted feedback sequence onto the initial histogram — regardless of
+/// reader count, publish cadence, or scheduling (tests/serve_test.cc holds
+/// this to std::bit_cast equality).
+///
+/// The histogram must support Clone() (STHoles does); the oracle must be
+/// const-thread-safe and outlive the service.
+class HistogramService {
+ public:
+  /// Takes ownership of `initial` as the refiner's working copy, publishes
+  /// its clone as snapshot epoch 0, and starts the refiner thread. Aborts if
+  /// `initial` is null or does not support Clone().
+  HistogramService(std::unique_ptr<Histogram> initial,
+                   const CardinalityOracle& oracle,
+                   const ServiceConfig& config = {});
+
+  /// Stops the service (drains and joins the refiner).
+  ~HistogramService();
+
+  HistogramService(const HistogramService&) = delete;
+  HistogramService& operator=(const HistogramService&) = delete;
+
+  /// Estimated cardinality of `query` against the current snapshot.
+  /// Lock-free with respect to refinement; safe from any thread.
+  double Estimate(const Box& query) const;
+
+  /// Batch estimation against one consistent snapshot: every query in the
+  /// batch is answered by the same epoch even if a publish lands mid-batch.
+  std::vector<double> EstimateBatch(std::span<const Box> queries) const;
+
+  /// The current published snapshot. Callers may hold it arbitrarily long;
+  /// it stays valid (and frozen) after the service moves on or shuts down.
+  std::shared_ptr<const Histogram> snapshot() const;
+
+  /// Submits one executed query's box as refinement feedback. Returns false
+  /// when the feedback was shed (queue full or service stopped); never
+  /// blocks.
+  bool SubmitFeedback(const Box& query);
+
+  /// Blocks until every feedback item accepted before this call has been
+  /// applied and published, i.e. staleness from the caller's viewpoint is 0.
+  /// Concurrent submitters can keep the horizon moving; with quiescent
+  /// producers this is a precise barrier.
+  void Drain();
+
+  /// Closes the feedback queue, drains what it holds, publishes the final
+  /// snapshot, and joins the refiner. Estimation keeps working against the
+  /// final snapshot; subsequent SubmitFeedback calls are shed. Idempotent.
+  void Stop();
+
+  /// Current counters (see ServiceStats for the consistency caveat).
+  ServiceStats stats() const;
+
+ private:
+  void RefinerLoop();
+  void Publish();
+
+  const ServiceConfig config_;
+  const CardinalityOracle& oracle_;
+
+  /// The refiner's private working copy; touched only by the refiner thread
+  /// after construction.
+  std::unique_ptr<Histogram> working_;
+  std::atomic<std::shared_ptr<const Histogram>> snapshot_;
+
+  BoundedQueue<Box> queue_;
+
+  mutable std::atomic<size_t> reads_{0};
+  std::atomic<size_t> accepted_{0};
+  std::atomic<size_t> dropped_{0};
+  std::atomic<size_t> applied_{0};
+  std::atomic<size_t> published_feedback_{0};  // applied_ at last publish.
+  std::atomic<size_t> epoch_{0};
+
+  /// Guards the publish-latency numbers and pairs with publish_cv_ so
+  /// Drain's wakeups cannot be missed.
+  mutable std::mutex publish_mutex_;
+  std::condition_variable publish_cv_;
+  double last_publish_seconds_ = 0.0;
+  double max_publish_seconds_ = 0.0;
+
+  std::mutex stop_mutex_;  // Serializes Stop against itself (idempotence).
+  bool stopped_ = false;
+  std::thread refiner_;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_SERVE_HISTOGRAM_SERVICE_H_

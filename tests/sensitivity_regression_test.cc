@@ -1,0 +1,129 @@
+// δ-sensitivity regression gate: pins the Definition-1 permutation
+// sensitivity of STHoles on Cross-2d — seeded (uninitialized) vs
+// MineClus-initialized — to golden intervals. The paper's robustness claim
+// is *quantitative*: initialization does not just help on one ordering, it
+// collapses the spread across orderings. A learning-path change (drilling,
+// merging, shrink heuristics, initialization order) that silently worsens
+// that spread moves these numbers and fails here before it reaches a
+// benchmark anyone eyeballs.
+//
+// Everything below is single-threaded and fully seeded, so the measured
+// numbers are deterministic; the golden intervals are wide enough to absorb
+// legitimate floating-point reassociation (they pin behavior, not bits).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "clustering/mineclus.h"
+#include "data/generators.h"
+#include "eval/metrics.h"
+#include "histogram/stholes.h"
+#include "init/initializer.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace sthist {
+namespace {
+
+constexpr uint64_t kPermutationSeeds[] = {41, 42, 43, 44, 45};
+
+struct RegressionSetup {
+  GeneratedData g;
+  std::unique_ptr<Executor> executor;
+  Workload train;
+  Workload probes;
+  std::vector<SubspaceCluster> clusters;
+};
+
+RegressionSetup MakeSetup() {
+  CrossConfig data_config;  // Cross-2d at regression scale.
+  data_config.tuples_per_cluster = 4000;
+  data_config.noise_tuples = 800;
+  RegressionSetup setup{MakeCross(data_config), {}, {}, {}, {}};
+  setup.executor = std::make_unique<Executor>(setup.g.data);
+
+  WorkloadConfig wc;
+  wc.num_queries = 250;
+  wc.volume_fraction = 0.01;
+  wc.seed = 7;
+  setup.train = MakeWorkload(setup.g.domain, wc);
+  wc.seed = 77;
+  setup.probes = MakeWorkload(setup.g.domain, wc);
+
+  MineClusConfig mc;
+  mc.alpha = 0.02;
+  mc.width_fraction = 0.05;
+  setup.clusters = RunMineClus(setup.g.data, setup.g.domain, mc);
+  return setup;
+}
+
+std::unique_ptr<Histogram> MakeSeeded(const RegressionSetup& setup,
+                                      bool initialize) {
+  STHolesConfig config;
+  config.max_buckets = 10;  // Tight budget: where order sensitivity bites.
+  auto hist = std::make_unique<STHoles>(
+      setup.g.domain, static_cast<double>(setup.g.data.size()), config);
+  if (initialize) {
+    InitializeHistogram(setup.clusters, setup.g.domain, *setup.executor,
+                        InitializerConfig{}, hist.get());
+  }
+  return hist;
+}
+
+TEST(SensitivityRegressionTest, PinnedDeltaSensitivityIntervals) {
+  RegressionSetup setup = MakeSetup();
+  ASSERT_GE(setup.clusters.size(), 2u)
+      << "MineClus must find the planted Cross clusters at these parameters";
+
+  SensitivityResult uninit = PermutationSensitivity(
+      [&] { return MakeSeeded(setup, false); }, setup.train, setup.probes,
+      *setup.executor, kPermutationSeeds);
+  SensitivityResult init = PermutationSensitivity(
+      [&] { return MakeSeeded(setup, true); }, setup.train, setup.probes,
+      *setup.executor, kPermutationSeeds);
+
+  // Always print the measurements: when a golden breaks, the re-pinning
+  // values are right here in the log instead of needing a debug build.
+  std::printf("uninit: base_error=%.6f max_delta=%.6f relative=%.6f\n",
+              uninit.base_error, uninit.max_delta, uninit.relative());
+  std::printf("init:   base_error=%.6f max_delta=%.6f relative=%.6f\n",
+              init.base_error, init.max_delta, init.relative());
+
+  // Both variants must have learned something: errors are positive, finite.
+  EXPECT_TRUE(std::isfinite(uninit.base_error));
+  EXPECT_TRUE(std::isfinite(init.base_error));
+  EXPECT_GT(uninit.base_error, 0.0);
+  EXPECT_GT(init.base_error, 0.0);
+
+  // Golden interval, uninitialized: the tight-budget histogram is visibly
+  // order-sensitive on Cross-2d — permutations move the error by a double-
+  // digit percentage of its base value (measured 0.158 when pinned).
+  EXPECT_GE(uninit.relative(), 0.10)
+      << "uninitialized delta-sensitivity collapsed: either the learning "
+         "path became order-invariant (update the goldens with the printed "
+         "measurement) or the sensitivity measurement broke";
+  EXPECT_LE(uninit.relative(), 0.25)
+      << "uninitialized delta-sensitivity grew past the pinned band";
+
+  // Definition 1 is an *absolute* error delta, and that is the claim worth
+  // pinning: initialization shrinks the spread permutations can cause
+  // (measured 6.66 vs 9.25 when pinned). The relative ratio is deliberately
+  // NOT compared across variants — initialization halves the base error, so
+  // dividing by it flatters the uninitialized histogram.
+  EXPECT_LT(init.max_delta, 0.9 * uninit.max_delta)
+      << "initialization no longer shrinks the Definition-1 permutation "
+         "delta";
+
+  // Accuracy relations, with margin over the pinned measurements
+  // (base 28.70 vs 58.45; worst-permutation 35.36 vs base 58.45):
+  // initialization halves the base error, and even its worst permutation
+  // beats the uninitialized histogram's best ordering comfortably.
+  EXPECT_LT(init.base_error, 0.65 * uninit.base_error);
+  EXPECT_LT(init.base_error + init.max_delta, 0.75 * uninit.base_error);
+}
+
+}  // namespace
+}  // namespace sthist

@@ -1,0 +1,238 @@
+// Fuzz-style corpus test for STHoles::Deserialize: the deserializer is the
+// one boundary where a histogram is rebuilt from an untrusted byte stream
+// (a file, a network peer, another process's snapshot), so it must return
+// nullptr on anything malformed — never crash, hang, overflow an allocation,
+// or leak (the ASan+UBSan CI job runs this suite with leak detection on).
+//
+// Three layers: a hand-written corpus of structured corruptions, exhaustive
+// truncation of a real serialization, and seeded random mutations of valid
+// output (flips, splices, duplications) — plus the invariant that whatever
+// *is* accepted satisfies CheckInvariants and re-serializes stably.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/generators.h"
+#include "histogram/stholes.h"
+#include "workload/query.h"
+#include "workload/workload.h"
+
+namespace sthist {
+namespace {
+
+STHolesConfig Budget(size_t buckets) {
+  STHolesConfig config;
+  config.max_buckets = buckets;
+  return config;
+}
+
+// A trained 2-d histogram's serialization, the seed for mutation corpora.
+std::string TrainedSerialization(size_t buckets, size_t queries) {
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 1500;
+  data_config.noise_tuples = 300;
+  GeneratedData g = MakeCross(data_config);
+  Executor executor(g.data);
+  STHoles h(g.domain, static_cast<double>(g.data.size()), Budget(buckets));
+  WorkloadConfig wc;
+  wc.num_queries = queries;
+  Workload w = MakeWorkload(g.domain, wc);
+  for (const Box& q : w) h.Refine(q, executor);
+  return h.Serialize();
+}
+
+// The contract under fuzzing: any input either deserializes to a histogram
+// that passes its own invariant checks and round-trips stably, or yields
+// nullptr. Nothing else — no crash, no abort, no poisoned estimates.
+void ExpectRejectedOrValid(const std::string& input) {
+  auto hist = STHoles::Deserialize(input, Budget(50));
+  if (hist == nullptr) return;
+  hist->CheckInvariants();
+  EXPECT_TRUE(std::isfinite(hist->TotalFrequency()));
+  EXPECT_EQ(STHoles::Deserialize(hist->Serialize(), Budget(50)) != nullptr,
+            true);
+}
+
+TEST(SerializeFuzzTest, StructuredCorruptionCorpus) {
+  const std::vector<std::string> corpus = {
+      // Header corruptions.
+      "",
+      "\n",
+      "STHoles",
+      "STHoles v2 dim=2 buckets=1\n0 0 1 0 1 5\n",   // Wrong version.
+      "stholes v1 dim=2 buckets=1\n0 0 1 0 1 5\n",   // Wrong case.
+      "STHoles v1 dim= buckets=1\n0 0 1 0 1 5\n",    // Missing dim value.
+      "STHoles v1 dim=0 buckets=1\n0 5\n",           // Zero dimensions.
+      "STHoles v1 dim=2 buckets=0\n",                // Zero buckets.
+      "STHoles v1 dim=-2 buckets=1\n0 0 1 0 1 5\n",  // Negative wraps huge.
+      "STHoles v1 dim=2 buckets=-1\n0 0 1 0 1 5\n",
+      "STHoles v1 dim=99999999999999999999 buckets=1\n",  // Overflowing.
+      "STHoles v1 dim=2 buckets=18446744073709551615\n0 0 1 0 1 5\n",
+      "STHoles v1 dim=1000000 buckets=2\n0 0 1 5\n",  // Dim >> payload.
+      "STHoles v1 dim=2 buckets=1000000\n0 0 1 0 1 5\n",  // Buckets >> lines.
+
+      // Non-finite fields: scanf parses nan/inf happily, ordering
+      // comparisons silently pass NaN — these must all be rejected.
+      "STHoles v1 dim=2 buckets=1\n0 nan 1 0 1 5\n",
+      "STHoles v1 dim=2 buckets=1\n0 0 nan 0 1 5\n",
+      "STHoles v1 dim=2 buckets=1\n0 0 1 0 1 nan\n",
+      "STHoles v1 dim=2 buckets=1\n0 inf inf 0 1 5\n",
+      "STHoles v1 dim=2 buckets=1\n0 -inf 1 0 1 5\n",
+      "STHoles v1 dim=2 buckets=1\n0 0 1 0 1 inf\n",
+      "STHoles v1 dim=2 buckets=2\n0 0 10 0 10 5\n1 1 2 1 2 nan\n",
+      "STHoles v1 dim=2 buckets=2\n0 0 10 0 10 5\n1 1 inf 1 2 1\n",
+
+      // Geometry violations.
+      "STHoles v1 dim=2 buckets=1\n0 1 0 0 1 5\n",     // Inverted root.
+      "STHoles v1 dim=2 buckets=1\n0 0 0 0 0 5\n",     // Zero-volume root.
+      "STHoles v1 dim=1 buckets=2\n0 0 10 5\n1 8 20 1\n",  // Child escapes.
+      "STHoles v1 dim=1 buckets=3\n0 0 10 5\n1 1 4 1\n1 3 6 1\n",  // Overlap.
+      "STHoles v1 dim=1 buckets=3\n0 0 10 5\n1 1 4 1\n1 1 4 1\n",  // Dup.
+      "STHoles v1 dim=1 buckets=2\n0 0 10 5\n1 2 5 -1\n",  // Negative freq.
+      "STHoles v1 dim=1 buckets=2\n0 0 10 5\n1 5 2 1\n",   // Inverted child.
+
+      // Structure violations.
+      "STHoles v1 dim=1 buckets=2\n0 0 10 5\n0 1 2 1\n",   // Second root.
+      "STHoles v1 dim=1 buckets=2\n0 0 10 5\n3 1 2 1\n",   // Depth jump.
+      "STHoles v1 dim=1 buckets=2\n1 0 10 5\n1 1 2 1\n",   // Root not depth 0.
+      "STHoles v1 dim=1 buckets=2\n0 0 10 5\n",            // Missing line.
+      "STHoles v1 dim=1 buckets=1\n0 0 10 5\ntrailing garbage\n",
+      "STHoles v1 dim=1 buckets=1\n0 0 10 5\n1 1 2 1\n",   // Extra bucket.
+
+      // Type confusion in fields.
+      "STHoles v1 dim=1 buckets=1\n0 zero ten 5\n",
+      "STHoles v1 dim=1 buckets=1\nx 0 10 5\n",
+      "STHoles v1 dim=1 buckets=1\n0 0 10 0x1p4\n",
+      "STHoles v1 dim=1 buckets=1\n0 0 1e999 5\n",         // Overflows to inf.
+  };
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    SCOPED_TRACE("corpus entry " + std::to_string(i));
+    ExpectRejectedOrValid(corpus[i]);
+  }
+
+  // Spot-check entries that must specifically be *rejected* (not merely
+  // survive): the NaN/Inf, duplicate-children, oversized-header, and
+  // trailing-garbage classes.
+  EXPECT_EQ(STHoles::Deserialize(
+                "STHoles v1 dim=2 buckets=1\n0 nan 1 0 1 5\n", Budget(50)),
+            nullptr);
+  EXPECT_EQ(STHoles::Deserialize(
+                "STHoles v1 dim=2 buckets=1\n0 0 1 0 1 inf\n", Budget(50)),
+            nullptr);
+  EXPECT_EQ(STHoles::Deserialize(
+                "STHoles v1 dim=1 buckets=3\n0 0 10 5\n1 1 4 1\n1 1 4 1\n",
+                Budget(50)),
+            nullptr);
+  EXPECT_EQ(STHoles::Deserialize("STHoles v1 dim=1000000 buckets=2\n0 0 1 5\n",
+                                 Budget(50)),
+            nullptr);
+  EXPECT_EQ(STHoles::Deserialize(
+                "STHoles v1 dim=1 buckets=1\n0 0 10 5\ntrailing garbage\n",
+                Budget(50)),
+            nullptr);
+}
+
+TEST(SerializeFuzzTest, EveryTruncationIsRejectedOrValid) {
+  std::string text = TrainedSerialization(25, 60);
+  ASSERT_GT(text.size(), 100u);
+  // Exhaustive prefix truncation: every cut point either leaves a parseable
+  // (shorter) histogram — impossible here because the header pins the bucket
+  // count — or is rejected. Either way, no crash.
+  for (size_t len = 0; len < text.size(); ++len) {
+    ExpectRejectedOrValid(text.substr(0, len));
+  }
+  // The untruncated text stays accepted.
+  EXPECT_NE(STHoles::Deserialize(text, Budget(25)), nullptr);
+}
+
+TEST(SerializeFuzzTest, RandomByteMutationsNeverCrash) {
+  std::string text = TrainedSerialization(20, 40);
+  Rng rng(20240806);
+  // Note the explicit length: the pool deliberately leads with a NUL byte,
+  // which a plain const char* constructor would truncate away.
+  const std::string garbage_bytes("\0\xff\x7f nan-inf.e+123,;", 19);
+
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string mutated = text;
+    // 1-4 point mutations per iteration: overwrite, insert, or erase.
+    int edits = 1 + static_cast<int>(rng.Uniform(0.0, 4.0));
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      size_t pos = static_cast<size_t>(
+          rng.Uniform(0.0, static_cast<double>(mutated.size())));
+      pos = std::min(pos, mutated.size() - 1);
+      double kind = rng.Uniform(0.0, 3.0);
+      char byte = garbage_bytes[static_cast<size_t>(rng.Uniform(
+          0.0, static_cast<double>(garbage_bytes.size())))];
+      if (kind < 1.0) {
+        mutated[pos] = byte;
+      } else if (kind < 2.0) {
+        mutated.insert(pos, 1, byte);
+      } else {
+        mutated.erase(pos, 1);
+      }
+    }
+    SCOPED_TRACE("mutation iteration " + std::to_string(iter));
+    ExpectRejectedOrValid(mutated);
+  }
+}
+
+TEST(SerializeFuzzTest, LineSpliceAndDuplicationNeverCrash) {
+  std::string text = TrainedSerialization(20, 40);
+  // Split into lines once.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_GT(lines.size(), 3u);
+
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::string> shuffled = lines;
+    // Structured mutations: drop a line, duplicate a line, swap two lines.
+    double kind = rng.Uniform(0.0, 3.0);
+    size_t a = 1 + static_cast<size_t>(rng.Uniform(
+                       0.0, static_cast<double>(shuffled.size() - 1)));
+    size_t b = 1 + static_cast<size_t>(rng.Uniform(
+                       0.0, static_cast<double>(shuffled.size() - 1)));
+    a = std::min(a, shuffled.size() - 1);
+    b = std::min(b, shuffled.size() - 1);
+    if (kind < 1.0) {
+      shuffled.erase(shuffled.begin() + a);
+    } else if (kind < 2.0) {
+      shuffled.insert(shuffled.begin() + a, shuffled[b]);
+    } else {
+      std::swap(shuffled[a], shuffled[b]);
+    }
+    std::string mutated;
+    for (const std::string& line : shuffled) {
+      mutated += line;
+      mutated += '\n';
+    }
+    SCOPED_TRACE("splice iteration " + std::to_string(iter));
+    ExpectRejectedOrValid(mutated);
+  }
+}
+
+TEST(SerializeFuzzTest, AcceptedInputsRoundTripStably) {
+  // Fixed-point property on the valid side of the boundary: deserialize →
+  // serialize → deserialize is stable and bit-exact.
+  std::string text = TrainedSerialization(30, 80);
+  auto first = STHoles::Deserialize(text, Budget(30));
+  ASSERT_NE(first, nullptr);
+  std::string second_text = first->Serialize();
+  EXPECT_EQ(second_text, text);
+  auto second = STHoles::Deserialize(second_text, Budget(30));
+  ASSERT_NE(second, nullptr);
+  second->CheckInvariants();
+}
+
+}  // namespace
+}  // namespace sthist

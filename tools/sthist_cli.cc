@@ -15,13 +15,16 @@
 // failed write — the Status message is printed to stderr); 2 usage error
 // (unknown subcommand or flag).
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <initializer_list>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "clustering/clique.h"
@@ -37,6 +40,7 @@
 #include "histogram/census.h"
 #include "histogram/stholes.h"
 #include "init/initializer.h"
+#include "serve/histogram_service.h"
 #include "testing/fault_injection.h"
 
 namespace {
@@ -502,6 +506,106 @@ Status RunInspect(const Flags& flags) {
   return Status::Ok();
 }
 
+// Simulates production serving: R reader threads issue estimates against
+// the published snapshot while every executed query's feedback streams back
+// through the service's bounded queue into the single refiner. Prints the
+// ServiceStats counters plus read throughput.
+Status RunServeSim(const Flags& flags) {
+  STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
+      {STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS, "buckets", "train",
+       "queries", "readers", "volume", "init", "queue-cap", "publish-batch"}));
+  StatusOr<GeneratedData> g = ResolveDataset(flags);
+  if (!g.ok()) return g.status();
+  Experiment experiment(*std::move(g));
+
+  const size_t readers = flags.Size("readers", 4);
+  const size_t total_queries = flags.Size("queries", 20000);
+  if (readers == 0 || total_queries == 0) {
+    return Status::InvalidArgument("--readers and --queries must be > 0");
+  }
+
+  // Pre-train the histogram the service starts from.
+  STHolesConfig hc;
+  hc.max_buckets = flags.Size("buckets", 100);
+  auto hist = std::make_unique<STHoles>(experiment.domain(),
+                                        experiment.total_tuples(), hc);
+  if (flags.Has("init")) {
+    InitializeHistogram(experiment.Clusters(MineClusFromFlags(flags)),
+                        experiment.domain(), experiment.executor(),
+                        InitializerConfig{}, hist.get());
+  }
+  ExperimentConfig wc_config;
+  wc_config.train_queries = flags.Size("train", 200);
+  wc_config.sim_queries = std::max<size_t>(total_queries / readers, 1);
+  wc_config.volume_fraction = flags.Num("volume", 0.01);
+  auto [train, sim] = experiment.MakeWorkloads(wc_config);
+  for (const Box& q : train) hist->Refine(q, experiment.executor());
+
+  ServiceConfig sc;
+  sc.queue_capacity = flags.Size("queue-cap", sc.queue_capacity);
+  sc.publish_batch = flags.Size("publish-batch", sc.publish_batch);
+  if (sc.queue_capacity == 0 || sc.publish_batch == 0) {
+    return Status::InvalidArgument(
+        "--queue-cap and --publish-batch must be > 0");
+  }
+  HistogramService service(std::move(hist), experiment.executor(), sc);
+
+  // Readers: estimate, then feed the executed query back — the full online
+  // loop, except reads never wait for the refiner.
+  std::atomic<bool> start{false};
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  std::atomic<double> sink{0.0};
+  const size_t per_reader = std::max<size_t>(total_queries / readers, 1);
+  for (size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      while (!start.load()) std::this_thread::yield();
+      double local = 0.0;
+      for (size_t i = 0; i < per_reader; ++i) {
+        const Box& q = sim[(r * 17 + i) % sim.size()];
+        local += service.Estimate(q);
+        service.SubmitFeedback(q);
+      }
+      sink.fetch_add(local);
+    });
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  start.store(true);
+  for (std::thread& t : threads) t.join();
+  double read_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  service.Stop();  // Drain the backlog and publish the final snapshot.
+  double total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  ServiceStats stats = service.stats();
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"reader threads", FormatSize(readers)});
+  table.AddRow({"reads served", FormatSize(stats.reads_served)});
+  table.AddRow(
+      {"reads/s", FormatDouble(static_cast<double>(stats.reads_served) /
+                                   read_seconds,
+                               0)});
+  table.AddRow({"feedback accepted", FormatSize(stats.feedback_accepted)});
+  table.AddRow({"feedback dropped", FormatSize(stats.feedback_dropped)});
+  table.AddRow({"feedback applied", FormatSize(stats.feedback_applied)});
+  table.AddRow({"snapshot epoch", FormatSize(stats.snapshot_epoch)});
+  table.AddRow({"final staleness", FormatSize(stats.staleness)});
+  table.AddRow({"last publish ms",
+                FormatDouble(stats.last_publish_seconds * 1e3, 2)});
+  table.AddRow({"max publish ms",
+                FormatDouble(stats.max_publish_seconds * 1e3, 2)});
+  table.AddRow({"drain+total s", FormatDouble(total_seconds, 2)});
+  table.Print();
+
+  const Histogram& snapshot = *service.snapshot();
+  std::printf("final snapshot: %zu buckets, robustness events %zu\n",
+              snapshot.bucket_count(), snapshot.robustness().total());
+  return Status::Ok();
+}
+
 void PrintUsage() {
   std::fputs(
       "usage: sthist_cli <command> [--flag value ...]\n"
@@ -529,6 +633,11 @@ void PrintUsage() {
       "              --threads N (0 = all cores) + experiment flags\n"
       "  inspect     print the bucket tree after training\n"
       "              --buckets N --train N [--init] [--out hist.txt]\n"
+      "  serve-sim   concurrent serving simulation: reader threads estimate\n"
+      "              against published snapshots while the refiner drains\n"
+      "              their feedback\n"
+      "              --readers N --queries N --buckets N --train N [--init]\n"
+      "              --queue-cap N --publish-batch N + cluster flags\n"
       "\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage error\n",
       stderr);
@@ -560,6 +669,8 @@ int main(int argc, char** argv) {
     status = RunSweepCommand(flags);
   } else if (command == "inspect") {
     status = RunInspect(flags);
+  } else if (command == "serve-sim") {
+    status = RunServeSim(flags);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     PrintUsage();
