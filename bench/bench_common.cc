@@ -6,11 +6,130 @@
 
 #include "core/thread_pool.h"
 #include "eval/table.h"
+#include "obs/metrics.h"
 
 namespace sthist::bench {
 
-Scale GetScale(int argc, char** argv) {
+namespace {
+
+// The process-wide registry every harness records into. Installed by
+// ExtractBenchOptions, which every main calls first (directly or through
+// GetScale), so all instrumented components land here.
+obs::MetricsRegistry& BenchRegistry() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+// Parses argv[i]'s value (argv[i+1]) as a non-negative integer, exiting
+// with a usage error otherwise.
+uint64_t ParseCount(const char* flag, const char* value) {
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == nullptr || *end != '\0' || value[0] == '\0') {
+    std::fprintf(stderr, "%s expects a non-negative integer, got %s\n", flag,
+                 value);
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+// Escapes a string for embedding in a JSON document.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchOptions ExtractBenchOptions(int* argc, char** argv) {
+  obs::SetGlobalMetrics(&BenchRegistry());
+  BenchOptions options;
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    const char* arg = argv[read];
+    const bool has_value = read + 1 < *argc;
+    if (std::strcmp(arg, "--threads") == 0 && has_value) {
+      uint64_t value = ParseCount(arg, argv[++read]);
+      if (value == 0) {
+        std::fprintf(stderr, "--threads expects a positive integer\n");
+        std::exit(2);
+      }
+      options.threads = static_cast<size_t>(value);
+    } else if (std::strcmp(arg, "--seed") == 0 && has_value) {
+      options.seed = ParseCount(arg, argv[++read]);
+    } else if (std::strcmp(arg, "--out") == 0 && has_value) {
+      options.out = argv[++read];
+    } else if (std::strcmp(arg, "--metrics-json") == 0 && has_value) {
+      options.metrics_json = argv[++read];
+    } else {
+      argv[write++] = argv[read];  // Not ours; leave for the caller.
+    }
+  }
+  *argc = write;
+  return options;
+}
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options = ExtractBenchOptions(&argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr,
+                 "unknown argument: %s\n"
+                 "usage: %s [--threads N] [--seed N] [--out PATH] "
+                 "[--metrics-json PATH]\n"
+                 "(STHIST_FULL=1 in the environment selects paper scale)\n",
+                 argv[1], argv[0]);
+    std::exit(2);
+  }
+  return options;
+}
+
+bool WriteBenchArtifact(
+    const BenchOptions& options, const std::string& name,
+    const std::vector<std::pair<std::string, double>>& summary) {
+  if (options.metrics_json.empty()) return true;
+  std::string json = "{\n  \"bench\": \"" + JsonEscape(name) + "\",\n";
+  json += "  \"summary\": {";
+  for (size_t i = 0; i < summary.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", summary[i].second);
+    json += (i == 0 ? "\n" : ",\n");
+    json += "    \"" + JsonEscape(summary[i].first) + "\": " + buf;
+  }
+  json += summary.empty() ? "},\n" : "\n  },\n";
+  json += "  \"metrics\": " + obs::GlobalMetrics()->ToJson() + "\n}\n";
+  FILE* f = std::fopen(options.metrics_json.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", options.metrics_json.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_error = std::fclose(f);
+  if (written != json.size() || close_error != 0) {
+    std::fprintf(stderr, "short write to %s\n", options.metrics_json.c_str());
+    return false;
+  }
+  return true;
+}
+
+Scale GetScale(const BenchOptions& options) {
   Scale scale;
+  scale.threads = options.threads;
   const char* full = std::getenv("STHIST_FULL");
   if (full != nullptr && full[0] == '1') {
     scale.full = true;
@@ -22,25 +141,33 @@ Scale GetScale(int argc, char** argv) {
     scale.crossnd_cluster_tuples_5d = 2700000;
     scale.bucket_sweep = {50, 100, 150, 200, 250};
   }
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      unsigned long value = std::strtoul(argv[++i], &end, 10);
-      if (end == nullptr || *end != '\0' || value == 0) {
-        std::fprintf(stderr, "--threads expects a positive integer, got %s\n",
-                     argv[i]);
-        std::exit(2);
-      }
-      scale.threads = static_cast<size_t>(value);
-    } else {
-      std::fprintf(stderr,
-                   "unknown argument: %s\nusage: %s [--threads N]\n"
-                   "(STHIST_FULL=1 in the environment selects paper scale)\n",
-                   argv[i], argv[0]);
-      std::exit(2);
-    }
-  }
   return scale;
+}
+
+namespace {
+
+// Deferred artifact for harnesses that never call WriteBenchArtifact
+// themselves (the legacy GetScale(argc, argv) entry point): written at exit
+// with an empty summary so --metrics-json works uniformly everywhere.
+BenchOptions g_exit_options;   // NOLINT(runtime/global)
+std::string g_exit_name;       // NOLINT(runtime/global)
+
+void WriteExitArtifact() {
+  (void)WriteBenchArtifact(g_exit_options, g_exit_name, {});
+}
+
+}  // namespace
+
+Scale GetScale(int argc, char** argv) {
+  if (argc <= 0) return GetScale(BenchOptions{});
+  BenchOptions options = ParseBenchOptions(argc, argv);
+  if (!options.metrics_json.empty()) {
+    g_exit_options = options;
+    const char* base = std::strrchr(argv[0], '/');
+    g_exit_name = base != nullptr ? base + 1 : argv[0];
+    std::atexit(WriteExitArtifact);
+  }
+  return GetScale(options);
 }
 
 GeneratedData BenchCross() {

@@ -1,13 +1,50 @@
 #ifndef STHIST_BENCH_BENCH_COMMON_H_
 #define STHIST_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/generators.h"
 #include "eval/runner.h"
 
 namespace sthist::bench {
+
+/// Command-line knobs shared by every harness, parsed by one function so the
+/// flags mean the same thing everywhere (DESIGN.md §13 for --metrics-json).
+struct BenchOptions {
+  /// Worker threads for sweeps/batching (0 = hardware concurrency).
+  size_t threads = 0;
+  /// Offset applied to the harness's workload seeds (0 = harness default),
+  /// for cheap run-to-run variation without editing the source.
+  uint64_t seed = 0;
+  /// Harness-specific primary output file ("" = stdout only).
+  std::string out;
+  /// Where to write the BENCH_*.json artifact ("" = don't).
+  std::string metrics_json;
+};
+
+/// Parses the shared flags (--threads N, --seed N, --out PATH,
+/// --metrics-json PATH) out of argv, removing each one (and its value) in
+/// place and decrementing *argc; anything unrecognized is left for the
+/// caller — google-benchmark mains pass the remainder to
+/// benchmark::Initialize. Also installs the process-wide metrics registry
+/// (obs::GlobalMetrics()), so every instrumented component constructed
+/// afterwards records into the artifact.
+BenchOptions ExtractBenchOptions(int* argc, char** argv);
+
+/// Strict variant for plain harnesses: anything left over after extraction
+/// is a usage error (prints to stderr, exits 2).
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// Writes the bench artifact to options.metrics_json:
+///   {"bench": <name>, "summary": {...}, "metrics": <registry snapshot>}
+/// No-op (returning true) when no path was requested; returns false after
+/// printing to stderr when the write fails, so mains can exit non-zero.
+bool WriteBenchArtifact(
+    const BenchOptions& options, const std::string& name,
+    const std::vector<std::pair<std::string, double>>& summary);
 
 /// Bench scale knobs. Defaults run every harness in seconds-to-a-minute;
 /// setting the environment variable STHIST_FULL=1 switches to the paper's
@@ -33,9 +70,12 @@ struct Scale {
 };
 
 /// Reads the scale from the environment (STHIST_FULL=1 for paper scale)
-/// and, when argv is provided, the command line (--threads N). Unknown
-/// flags or a malformed --threads value terminate with a usage error.
+/// and, when argv is provided, the command line via ParseBenchOptions.
 Scale GetScale(int argc = 0, char** argv = nullptr);
+
+/// Same, from already-parsed options (harnesses that also need the options
+/// themselves call ParseBenchOptions once and use this overload).
+Scale GetScale(const BenchOptions& options);
 
 /// Canonical dataset builders at bench scale.
 GeneratedData BenchCross();

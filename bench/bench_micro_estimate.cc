@@ -1,7 +1,12 @@
 // Micro-benchmark: STHoles estimation cost as a function of bucket count.
+//
+// Supplies its own main (instead of benchmark_main) so the shared bench
+// flags — notably --metrics-json for the BENCH_estimate.json artifact — are
+// stripped before google-benchmark sees the command line.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "data/generators.h"
 #include "histogram/stholes.h"
 #include "workload/query.h"
@@ -92,3 +97,14 @@ BENCHMARK(BM_EstimateLinear)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
 BENCHMARK(BM_EstimateBatch)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  sthist::bench::BenchOptions options =
+      sthist::bench::ExtractBenchOptions(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!sthist::bench::WriteBenchArtifact(options, "estimate", {})) return 1;
+  return 0;
+}

@@ -35,7 +35,7 @@ struct ServeBenchSetup {
   Workload probes;
 };
 
-ServeBenchSetup MakeServeSetup(const Scale& scale) {
+ServeBenchSetup MakeServeSetup(const Scale& scale, uint64_t seed_offset) {
   CrossConfig data_config;
   data_config.tuples_per_cluster = scale.full ? 10000 : 3000;
   data_config.noise_tuples = data_config.tuples_per_cluster / 5;
@@ -45,10 +45,10 @@ ServeBenchSetup MakeServeSetup(const Scale& scale) {
   WorkloadConfig wc;
   wc.num_queries = scale.full ? 1000 : 300;
   wc.volume_fraction = 0.01;
-  wc.seed = 31;
+  wc.seed = 31 + seed_offset;
   setup.feedback = MakeWorkload(setup.g.domain, wc);
   wc.num_queries = 256;
-  wc.seed = 97;
+  wc.seed = 97 + seed_offset;
   setup.probes = MakeWorkload(setup.g.domain, wc);
   return setup;
 }
@@ -88,7 +88,7 @@ Throughput MeasureReads(const ServeBenchSetup& setup, size_t buckets,
       while (!start.load()) std::this_thread::yield();
       size_t i = 0;
       while (!stop_feeder.load()) {
-        service.SubmitFeedback(setup.feedback[i % setup.feedback.size()]);
+        (void)service.SubmitFeedback(setup.feedback[i % setup.feedback.size()]);
         ++i;
       }
     });
@@ -122,8 +122,10 @@ Throughput MeasureReads(const ServeBenchSetup& setup, size_t buckets,
   Throughput result;
   result.reads_per_second =
       static_cast<double>(readers * reads_per_thread) / seconds;
+  // Deltas, not absolutes: every measured service shares the process-wide
+  // registry, so its cells carry over from the previous rows.
   result.publishes = after.snapshot_epoch - before.snapshot_epoch;
-  result.feedback_applied = after.feedback_applied;
+  result.feedback_applied = after.feedback_applied - before.feedback_applied;
   result.max_publish_ms = after.max_publish_seconds * 1e3;
   return result;
 }
@@ -135,10 +137,11 @@ int main(int argc, char** argv) {
   using namespace sthist;
   using namespace sthist::bench;
 
-  Scale scale = GetScale(argc, argv);
+  BenchOptions options = ParseBenchOptions(argc, argv);
+  Scale scale = GetScale(options);
   PrintBanner("Serving layer: read throughput vs reader threads", scale);
 
-  ServeBenchSetup setup = MakeServeSetup(scale);
+  ServeBenchSetup setup = MakeServeSetup(scale, options.seed);
   const size_t buckets = 100;
   const size_t reads_per_thread = scale.full ? 20000 : 5000;
 
@@ -170,6 +173,14 @@ int main(int argc, char** argv) {
   // what CPU sharing can explain — that would mean readers are *blocking*
   // on the writer.
   const double floor = std::thread::hardware_concurrency() > 2 ? 0.5 : 0.2;
+  // The artifact carries the headline number plus the full metrics
+  // registry (publish latency histogram, drop counters, ...).
+  if (!WriteBenchArtifact(options, "serve",
+                          {{"worst_live_idle_ratio", worst_ratio},
+                           {"floor", floor}})) {
+    return EXIT_FAILURE;
+  }
+
   if (worst_ratio < floor) {
     std::fprintf(stderr,
                  "FAIL: concurrent refinement collapsed read throughput "

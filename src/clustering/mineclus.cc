@@ -6,6 +6,7 @@
 #include "clustering/fptree.h"
 #include "core/check.h"
 #include "core/rng.h"
+#include "obs/trace.h"
 
 namespace sthist {
 
@@ -75,6 +76,14 @@ std::vector<SubspaceCluster> RunMineClus(const Dataset& data,
   STHIST_CHECK(config.beta > 0.0 && config.beta <= 1.0);
   STHIST_CHECK(config.width_fraction > 0.0);
 
+  obs::MetricsRegistry* reg = obs::GlobalMetrics();
+  obs::Counter rounds_metric = reg->counter("clustering.mineclus.rounds");
+  obs::Counter failed_metric =
+      reg->counter("clustering.mineclus.failed_rounds");
+  obs::Counter clusters_metric = reg->counter("clustering.mineclus.clusters");
+  obs::ScopedTimer mine_timer(
+      reg->latency("clustering.mineclus.mine_seconds"));
+
   const size_t n = data.size();
   const size_t dim = data.dim();
   const double min_support = config.alpha * static_cast<double>(n);
@@ -95,6 +104,7 @@ std::vector<SubspaceCluster> RunMineClus(const Dataset& data,
   while (clusters.size() < config.max_clusters &&
          static_cast<double>(remaining.size()) >= min_support &&
          failed_rounds < config.max_failed_rounds) {
+    rounds_metric.Inc();
     // Evaluate a sample of medoids; keep the best-quality dimension set.
     Candidate best;
     size_t samples = std::min(config.medoids_per_round, remaining.size());
@@ -129,6 +139,7 @@ std::vector<SubspaceCluster> RunMineClus(const Dataset& data,
 
     if (best.score < 0.0) {
       ++failed_rounds;
+      failed_metric.Inc();
       continue;
     }
     failed_rounds = 0;
@@ -144,6 +155,7 @@ std::vector<SubspaceCluster> RunMineClus(const Dataset& data,
         static_cast<double>(cluster.members.size()) *
         std::pow(gain, static_cast<double>(cluster.relevant_dims.size()));
     clusters.push_back(std::move(cluster));
+    clusters_metric.Inc();
 
     // Remove the cluster's members from the remaining pool.
     std::vector<bool> taken(n, false);

@@ -12,6 +12,15 @@
 
 namespace sthist {
 
+/// Why TryPush refused an item — the two rejection causes call for different
+/// reactions (a full queue is transient backpressure, a closed queue is
+/// final), so the queue reports which one happened instead of a bare false.
+enum class PushResult {
+  kAccepted,
+  kFull,    // At capacity; retrying later may succeed.
+  kClosed,  // Close() was called; no push will ever succeed again.
+};
+
 /// Bounded multi-producer queue with batched consumption, the feedback
 /// channel of the serving layer (DESIGN.md §11).
 ///
@@ -34,16 +43,17 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Enqueues `item` unless the queue is full or closed. Returns whether the
-  /// item was accepted; never blocks.
-  bool TryPush(T item) {
+  /// Enqueues `item` unless the queue is full or closed; never blocks.
+  /// Returns kAccepted, or the rejection cause.
+  PushResult TryPush(T item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
       items_.push_back(std::move(item));
     }
     ready_cv_.notify_one();
-    return true;
+    return PushResult::kAccepted;
   }
 
   /// Moves up to `max_items` into `*out` (appended; existing contents are

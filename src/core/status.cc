@@ -17,6 +17,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kOutOfRange:
       return "OUT_OF_RANGE";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

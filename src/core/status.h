@@ -31,6 +31,9 @@ enum class StatusCode {
   kIoError,
   /// Input was well-formed but violates a documented limit (budget, size).
   kOutOfRange,
+  /// The operation cannot proceed because the component is shutting down or
+  /// otherwise not serving (e.g. Drain on a stopped HistogramService).
+  kUnavailable,
 };
 
 /// Human-readable name of a code, e.g. "INVALID_ARGUMENT".
@@ -61,6 +64,9 @@ class Status {
   }
   static Status OutOfRange(std::string message) {
     return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

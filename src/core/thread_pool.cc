@@ -5,6 +5,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace sthist {
 
 size_t DefaultThreadCount() {
@@ -12,8 +14,13 @@ size_t DefaultThreadCount() {
   return n == 0 ? 1 : n;
 }
 
-ThreadPool::ThreadPool(size_t threads) {
+ThreadPool::ThreadPool(size_t threads, obs::MetricsRegistry* metrics) {
   if (threads == 0) threads = DefaultThreadCount();
+  obs::MetricsRegistry* reg =
+      metrics != nullptr ? metrics : obs::GlobalMetrics();
+  tasks_ = reg->counter("pool.thread_pool.tasks");
+  queue_wait_seconds_ = reg->latency("pool.thread_pool.queue_wait_seconds");
+  task_seconds_ = reg->latency("pool.thread_pool.task_seconds");
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -30,9 +37,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  tasks_.Inc();
+  QueuedTask queued{std::move(task)};
+  if (queue_wait_seconds_.enabled()) {
+    queued.enqueued_seconds = obs::MonotonicSeconds();
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
   }
   work_cv_.notify_one();
 }
@@ -44,7 +56,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -53,7 +65,14 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++running_;
     }
-    task();
+    if (task.enqueued_seconds >= 0.0) {
+      queue_wait_seconds_.Observe(obs::MonotonicSeconds() -
+                                  task.enqueued_seconds);
+    }
+    {
+      obs::ScopedTimer task_timer(task_seconds_);
+      task.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --running_;

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace sthist {
 
 /// Worker count that "auto" (threads = 0) resolves to: the hardware
@@ -24,8 +26,13 @@ size_t DefaultThreadCount();
 /// may fail.
 class ThreadPool {
  public:
-  /// Starts `threads` workers (0 = DefaultThreadCount()).
-  explicit ThreadPool(size_t threads = 0);
+  /// Starts `threads` workers (0 = DefaultThreadCount()). `metrics` receives
+  /// the pool.thread_pool.* metrics (DESIGN.md §13); nullptr means the
+  /// process-wide GlobalMetrics(). Queue-wait timestamps are only taken when
+  /// the latency metric is enabled, so a disabled registry costs one branch
+  /// per task.
+  explicit ThreadPool(size_t threads = 0,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   /// Waits for queued tasks to finish, then joins the workers.
   ~ThreadPool();
@@ -44,15 +51,25 @@ class ThreadPool {
   void Wait();
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    // MonotonicSeconds() at enqueue, or a negative sentinel when the
+    // queue-wait metric is disabled (no clock read on the disabled path).
+    double enqueued_seconds = -1.0;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;  // Signals workers: task or stop.
   std::condition_variable idle_cv_;  // Signals Wait(): pool drained.
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   size_t running_ = 0;  // Tasks currently executing.
   bool stop_ = false;
+  obs::Counter tasks_;
+  obs::LatencyHistogram queue_wait_seconds_;
+  obs::LatencyHistogram task_seconds_;
 };
 
 /// Calls `fn(i)` for every i in [0, n), distributing indices across the

@@ -7,6 +7,7 @@
 #include "core/check.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
+#include "obs/trace.h"
 #include "eval/metrics.h"
 #include "histogram/census.h"
 #include "histogram/trivial.h"
@@ -167,11 +168,17 @@ std::vector<ExperimentResult> RunSweep(Experiment& experiment,
                                        std::span<const ExperimentConfig> configs,
                                        size_t threads) {
   std::vector<ExperimentResult> results(configs.size());
+  obs::MetricsRegistry* reg = obs::GlobalMetrics();
+  obs::Counter cells_metric = reg->counter("eval.sweep.cells");
+  obs::LatencyHistogram cell_seconds = reg->latency("eval.sweep.cell_seconds");
   // Index-ordered aggregation: worker i writes only slot i, so the output
   // order (and content — see the determinism contract in the header) is
   // independent of scheduling.
-  ParallelFor(configs.size(), threads,
-              [&](size_t i) { results[i] = experiment.Run(configs[i]); });
+  ParallelFor(configs.size(), threads, [&](size_t i) {
+    obs::ScopedTimer cell_timer(cell_seconds);
+    results[i] = experiment.Run(configs[i]);
+    cells_metric.Inc();
+  });
   return results;
 }
 

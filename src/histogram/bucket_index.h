@@ -116,11 +116,12 @@ class BucketTreeIndex {
   }
 
   /// Fills `out` with the buckets open-intersecting `query`, grouped for
-  /// BucketGroups::Of. Thread-safe against concurrent Probe calls.
-  void Probe(const Box& query, BucketGroups<BucketT>* out) const {
+  /// BucketGroups::Of. Thread-safe against concurrent Probe calls. Returns
+  /// the number of R-tree nodes visited (the probe's work, for metrics).
+  size_t Probe(const Box& query, BucketGroups<BucketT>* out) const {
     out->hits_.clear();
     std::vector<uint64_t> ids;
-    tree_.Probe(query, BoxOverlap::kOpenInterior, &ids);
+    const size_t visited = tree_.Probe(query, BoxOverlap::kOpenInterior, &ids);
     out->hits_.reserve(ids.size());
     for (uint64_t id : ids) out->hits_.push_back(refs_[id]);
     std::sort(out->hits_.begin(), out->hits_.end(),
@@ -131,6 +132,7 @@ class BucketTreeIndex {
                 }
                 return a.slot < b.slot;
               });
+    return visited;
   }
 
   size_t size() const { return tree_.size(); }

@@ -14,6 +14,7 @@ constexpr size_t kSerialBatchCutoff = 32;
 
 std::vector<double> Histogram::EstimateBatch(std::span<const Box> queries,
                                              size_t threads) const {
+  PrepareForBatch();
   std::vector<double> out(queries.size());
   if (threads == 1 || queries.size() < kSerialBatchCutoff) {
     for (size_t i = 0; i < queries.size(); ++i) out[i] = Estimate(queries[i]);

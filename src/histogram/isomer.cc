@@ -9,6 +9,7 @@
 #include "core/check.h"
 #include "histogram/bucket_index.h"
 #include "histogram/robustness.h"
+#include "obs/trace.h"
 
 namespace sthist {
 
@@ -49,6 +50,20 @@ IsomerHistogram::IsomerHistogram(const Box& domain, double total_tuples,
   root_->frequency = total_tuples;
   bucket_count_ = 1;
   index_ = std::make_unique<IndexState>();
+
+  obs::MetricsRegistry* reg =
+      config.metrics != nullptr ? config.metrics : obs::GlobalMetrics();
+  metrics_.estimates = reg->counter("histogram.isomer.estimates");
+  metrics_.refines = reg->counter("histogram.isomer.refines");
+  metrics_.constraints = reg->gauge("histogram.isomer.constraints");
+  metrics_.refine_seconds = reg->latency("histogram.isomer.refine_seconds");
+  metrics_.solve_seconds = reg->latency("histogram.isomer.solve_seconds");
+  metrics_.index_builds = reg->counter("index.bucket_tree.builds");
+  metrics_.index_invalidations = reg->counter("index.bucket_tree.invalidations");
+  metrics_.index_probes = reg->counter("index.bucket_tree.probes");
+  metrics_.index_node_visits = reg->counter("index.bucket_tree.node_visits");
+  metrics_.ring = reg->ring();
+
   // The relation cardinality is a permanent constraint: the max-entropy
   // solution must always integrate to the table size.
   constraints_.push_back({domain, total_tuples});
@@ -82,6 +97,7 @@ double IsomerHistogram::RegionIntersectionVolume(const Bucket& b,
 }
 
 double IsomerHistogram::Estimate(const Box& query) const {
+  metrics_.estimates.Inc();
   if (!IsEstimableQuery(root_->box, query)) {
     index_->rejected_estimates.fetch_add(1, std::memory_order_relaxed);
     return 0.0;
@@ -94,7 +110,8 @@ double IsomerHistogram::Estimate(const Box& query) const {
     EnsureIndex();
   }
   BucketGroups<Bucket> groups;
-  index_->index.Probe(query, &groups);
+  metrics_.index_probes.Inc();
+  metrics_.index_node_visits.Inc(index_->index.Probe(query, &groups));
   return EstimateIndexed(*root_, query, groups, MinVolume());
 }
 
@@ -106,20 +123,18 @@ double IsomerHistogram::EstimateLinear(const Box& query) const {
   return EstimateNode(*root_, query);
 }
 
-std::vector<double> IsomerHistogram::EstimateBatch(std::span<const Box> queries,
-                                                   size_t threads) const {
-  EnsureIndex();
-  return Histogram::EstimateBatch(queries, threads);
-}
-
 void IsomerHistogram::EnsureIndex() const {
   std::lock_guard<std::mutex> lock(index_->mutex);
   if (index_->ready.load(std::memory_order_relaxed)) return;
   index_->index.Rebuild(root_.get());
+  metrics_.index_builds.Inc();
   index_->ready.store(true, std::memory_order_release);
 }
 
 void IsomerHistogram::InvalidateIndex() {
+  if (index_->ready.load(std::memory_order_relaxed)) {
+    metrics_.index_invalidations.Inc();
+  }
   index_->ready.store(false, std::memory_order_relaxed);
   index_->estimates_since_change.store(0, std::memory_order_relaxed);
 }
@@ -421,6 +436,7 @@ double IsomerHistogram::ScaleOnce() {
 }
 
 void IsomerHistogram::Solve() {
+  obs::ScopedTimer solve_timer(metrics_.solve_seconds);
   for (size_t round = 0; round < config_.scaling_rounds; ++round) {
     double worst = ScaleOnce();
     if (worst <= config_.tolerance) break;
@@ -457,6 +473,9 @@ double IsomerHistogram::MaxConstraintViolation() const {
 
 void IsomerHistogram::Refine(const Box& query,
                              const CardinalityOracle& oracle) {
+  metrics_.refines.Inc();
+  obs::TraceSpan span("isomer.refine", metrics_.refine_seconds,
+                      metrics_.ring);
   // Query boxes and oracle counts are untrusted: repair what is repairable,
   // drop what is not, and never abort.
   std::optional<Box> sanitized =
@@ -489,6 +508,7 @@ void IsomerHistogram::Refine(const Box& query,
 
   EnforceBudget();
   Solve();
+  metrics_.constraints.Set(static_cast<double>(constraint_count()));
 }
 
 // ---------------------------------------------------------------------------

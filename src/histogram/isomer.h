@@ -8,6 +8,7 @@
 
 #include "core/box.h"
 #include "histogram/histogram.h"
+#include "obs/metrics.h"
 
 namespace sthist {
 
@@ -32,6 +33,10 @@ struct IsomerConfig {
   /// bucket budget, merges can make old constraints unrepresentable, and
   /// keeping them makes the scaling fight itself).
   double inconsistency_threshold = 0.5;
+
+  /// Registry receiving the histogram.isomer.* / index.bucket_tree.* metrics
+  /// (DESIGN.md §13); nullptr means the process-wide GlobalMetrics().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// ISOMER-style self-tuning histogram (Srivastava, Haas, Markl, Kutsch,
@@ -69,11 +74,6 @@ class IsomerHistogram : public Histogram {
   /// differential testing against the indexed Estimate.
   double EstimateLinear(const Box& query) const override;
 
-  /// Index-aware batch: builds the bucket index once up front, then fans the
-  /// per-query estimates out per the base-class contract.
-  std::vector<double> EstimateBatch(std::span<const Box> queries,
-                                    size_t threads = 0) const override;
-
   /// Records the query's true cardinality as a constraint, drills structure
   /// for it, and re-solves the frequencies by iterative scaling.
   ///
@@ -101,8 +101,29 @@ class IsomerHistogram : public Histogram {
   /// frequencies); aborts on violation.
   void CheckInvariants() const;
 
+ protected:
+  /// Batch amortization (base-class hook): builds the bucket index once up
+  /// front so the fanned-out per-query estimates only ever probe.
+  void PrepareForBatch() const override { EnsureIndex(); }
+
  private:
   struct Bucket;
+
+  // Metric handles (DESIGN.md §13), resolved once at construction from
+  // config.metrics (or GlobalMetrics()); updates never feed back into any
+  // estimate or scaling decision.
+  struct Metrics {
+    obs::Counter estimates;
+    obs::Counter refines;
+    obs::Gauge constraints;
+    obs::LatencyHistogram refine_seconds;
+    obs::LatencyHistogram solve_seconds;
+    obs::Counter index_builds;
+    obs::Counter index_invalidations;
+    obs::Counter index_probes;
+    obs::Counter index_node_visits;
+    obs::TraceRing* ring = nullptr;
+  };
 
   /// Cached geometry of one bucket against one constraint box, valid while
   /// the bucket structure is unchanged (scaling only moves frequencies).
@@ -165,6 +186,7 @@ class IsomerHistogram : public Histogram {
   void CheckNode(const Bucket& b) const;
 
   IsomerConfig config_;
+  Metrics metrics_;
   std::unique_ptr<Bucket> root_;
   size_t bucket_count_ = 0;  // Including root.
   std::deque<Constraint> constraints_;

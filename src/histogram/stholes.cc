@@ -10,6 +10,7 @@
 #include "core/check.h"
 #include "histogram/bucket_index.h"
 #include "histogram/robustness.h"
+#include "obs/trace.h"
 
 namespace sthist {
 
@@ -63,6 +64,25 @@ STHoles::STHoles(const Box& domain, double total_tuples,
   root_->frequency = total_tuples;
   bucket_count_ = 1;
   index_ = std::make_unique<IndexState>();
+
+  obs::MetricsRegistry* reg =
+      config.metrics != nullptr ? config.metrics : obs::GlobalMetrics();
+  metrics_.estimates = reg->counter("histogram.stholes.estimates");
+  metrics_.refines = reg->counter("histogram.stholes.refines");
+  metrics_.drills = reg->counter("histogram.stholes.drills");
+  metrics_.merges = reg->counter("histogram.stholes.merges");
+  metrics_.migrated_children =
+      reg->counter("histogram.stholes.migrated_children");
+  metrics_.buckets = reg->gauge("histogram.stholes.buckets");
+  metrics_.refine_seconds = reg->latency("histogram.stholes.refine_seconds");
+  metrics_.drill_seconds = reg->latency("histogram.stholes.drill_seconds");
+  metrics_.merge_seconds = reg->latency("histogram.stholes.merge_seconds");
+  metrics_.index_builds = reg->counter("index.bucket_tree.builds");
+  metrics_.index_appends = reg->counter("index.bucket_tree.appends");
+  metrics_.index_invalidations = reg->counter("index.bucket_tree.invalidations");
+  metrics_.index_probes = reg->counter("index.bucket_tree.probes");
+  metrics_.index_node_visits = reg->counter("index.bucket_tree.node_visits");
+  metrics_.ring = reg->ring();
 }
 
 STHoles::~STHoles() = default;
@@ -96,6 +116,7 @@ double STHoles::RegionIntersectionVolume(const Bucket& b, const Box& query) {
 // ---------------------------------------------------------------------------
 
 double STHoles::Estimate(const Box& query) const {
+  metrics_.estimates.Inc();
   if (!IsEstimableQuery(root_->box, query)) {
     index_->rejected_estimates.fetch_add(1, std::memory_order_relaxed);
     return 0.0;
@@ -111,7 +132,8 @@ double STHoles::Estimate(const Box& query) const {
     EnsureIndex();
   }
   BucketGroups<Bucket> groups;
-  index_->index.Probe(query, &groups);
+  metrics_.index_probes.Inc();
+  metrics_.index_node_visits.Inc(index_->index.Probe(query, &groups));
   return EstimateIndexed(*root_, query, groups, MinVolume());
 }
 
@@ -123,22 +145,18 @@ double STHoles::EstimateLinear(const Box& query) const {
   return EstimateNode(*root_, query);
 }
 
-std::vector<double> STHoles::EstimateBatch(std::span<const Box> queries,
-                                           size_t threads) const {
-  // A batch always amortizes the build; force it before fanning out so the
-  // workers only ever probe.
-  EnsureIndex();
-  return Histogram::EstimateBatch(queries, threads);
-}
-
 void STHoles::EnsureIndex() const {
   std::lock_guard<std::mutex> lock(index_->mutex);
   if (index_->ready.load(std::memory_order_relaxed)) return;
   index_->index.Rebuild(root_.get());
+  metrics_.index_builds.Inc();
   index_->ready.store(true, std::memory_order_release);
 }
 
 void STHoles::InvalidateIndex() {
+  if (index_->ready.load(std::memory_order_relaxed)) {
+    metrics_.index_invalidations.Inc();
+  }
   index_->ready.store(false, std::memory_order_relaxed);
   index_->estimates_since_change.store(0, std::memory_order_relaxed);
 }
@@ -184,6 +202,9 @@ double STHoles::TotalFrequency() const {
 // ---------------------------------------------------------------------------
 
 void STHoles::Refine(const Box& query, const CardinalityOracle& oracle) {
+  metrics_.refines.Inc();
+  obs::TraceSpan span("stholes.refine", metrics_.refine_seconds,
+                      metrics_.ring);
   // Query boxes and oracle counts are untrusted: repair what is repairable,
   // drop what is not, and never abort.
   std::optional<Box> sanitized =
@@ -208,6 +229,7 @@ void STHoles::Refine(const Box& query, const CardinalityOracle& oracle) {
   }
 
   EnforceBudget();
+  metrics_.buckets.Set(static_cast<double>(bucket_count()));
 }
 
 void STHoles::CollectIntersecting(Bucket* b, const Box& query,
@@ -301,6 +323,9 @@ void STHoles::SetExactFrequency(Bucket* b, const CardinalityOracle& oracle) {
 
 void STHoles::DrillHole(Bucket* b, const Box& candidate,
                         const CardinalityOracle& oracle) {
+  // Times the whole call, including the frequency-correction shortcuts; the
+  // drills counter moves only when a hole bucket is actually created.
+  obs::ScopedTimer drill_timer(metrics_.drill_seconds);
   // Coordinate tolerance for box equality, relative to the domain scale.
   double max_extent = 0.0;
   for (size_t d = 0; d < root_->box.dim(); ++d) {
@@ -345,17 +370,20 @@ void STHoles::DrillHole(Bucket* b, const Box& candidate,
     hole->frequency = 0.0;
   }
   b->frequency = std::max(b->frequency - hole->frequency, 0.0);
-  const bool migrated = !hole->children.empty();
+  const size_t migrated_children = hole->children.size();
   b->children.push_back(std::move(hole));
   ++bucket_count_;
+  metrics_.drills.Inc();
+  metrics_.migrated_children.Inc(migrated_children);
 
-  if (migrated) {
+  if (migrated_children > 0) {
     // Children moved under the hole: slots shifted, the index is stale.
     InvalidateIndex();
   } else if (index_->ready.load(std::memory_order_relaxed)) {
     // Pure append: existing slots are untouched, so the index follows
     // incrementally instead of rebuilding.
     index_->index.AppendChild(b);
+    metrics_.index_appends.Inc();
   } else {
     index_->estimates_since_change.store(0, std::memory_order_relaxed);
   }
@@ -519,6 +547,8 @@ void STHoles::ComputeSiblingMerge(Bucket* parent, Bucket* b1, Bucket* b2,
 }
 
 void STHoles::ApplyMerge(const MergeCandidate& merge) {
+  obs::ScopedTimer merge_timer(metrics_.merge_seconds);
+  metrics_.merges.Inc();
   // Every merge moves buckets between children lists; the index's
   // (parent, slot) references are stale either way.
   InvalidateIndex();

@@ -6,6 +6,7 @@
 
 #include "core/box.h"
 #include "histogram/histogram.h"
+#include "obs/metrics.h"
 
 namespace sthist {
 
@@ -18,6 +19,12 @@ struct STHolesConfig {
   /// Volumes at or below this fraction of the root volume are treated as
   /// zero when deciding whether a candidate hole is worth drilling.
   double min_volume_fraction = 1e-12;
+
+  /// Registry receiving the histogram.stholes.* / index.bucket_tree.* metrics
+  /// (DESIGN.md §13); nullptr means the process-wide GlobalMetrics(). Handles
+  /// are resolved once at construction, so install the registry first. Clones
+  /// inherit the config and therefore aggregate into the same cells.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The STHoles multidimensional self-tuning histogram
@@ -54,11 +61,6 @@ class STHoles : public Histogram {
   /// The original full-tree linear scan, retained as the reference path for
   /// differential testing against the indexed Estimate.
   double EstimateLinear(const Box& query) const override;
-
-  /// Index-aware batch: builds the bucket index once up front, then fans the
-  /// (now cheap) per-query estimates out per the base-class contract.
-  std::vector<double> EstimateBatch(std::span<const Box> queries,
-                                    size_t threads = 0) const override;
 
   /// Learns from the feedback of one executed query: drills shrunken
   /// candidate holes with exact counts into every intersected bucket, then
@@ -119,8 +121,37 @@ class STHoles : public Histogram {
   /// used by tests and fuzzing.
   void CheckInvariants() const;
 
+ protected:
+  /// Batch amortization (base-class hook): builds the bucket index once up
+  /// front so the fanned-out per-query estimates only ever probe.
+  void PrepareForBatch() const override { EnsureIndex(); }
+
  private:
   struct Bucket;
+
+  // Metric handles (DESIGN.md §13), resolved once at construction from
+  // config.metrics (or GlobalMetrics()). Updates are relaxed atomics — or a
+  // single branch when the registry is disabled — and never feed back into
+  // any estimate or refinement decision, preserving the §9–§11 determinism
+  // contracts (tests/obs_test.cc holds an instrumented histogram to
+  // bit-identity against an uninstrumented twin).
+  struct Metrics {
+    obs::Counter estimates;
+    obs::Counter refines;
+    obs::Counter drills;
+    obs::Counter merges;
+    obs::Counter migrated_children;
+    obs::Gauge buckets;
+    obs::LatencyHistogram refine_seconds;
+    obs::LatencyHistogram drill_seconds;
+    obs::LatencyHistogram merge_seconds;
+    obs::Counter index_builds;
+    obs::Counter index_appends;
+    obs::Counter index_invalidations;
+    obs::Counter index_probes;
+    obs::Counter index_node_visits;
+    obs::TraceRing* ring = nullptr;
+  };
 
   // Deep copy of a bucket subtree, preserving child order (estimation sums
   // in child order, so order preservation is what makes clone estimates
@@ -177,6 +208,7 @@ class STHoles : public Histogram {
   void InvalidateIndex();
 
   STHolesConfig config_;
+  Metrics metrics_;
   std::unique_ptr<Bucket> root_;
   size_t bucket_count_ = 0;  // Including root.
   // Refine-path degradation counters; Estimate-path rejections live in

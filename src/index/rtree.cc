@@ -150,18 +150,20 @@ void RTree::Insert(const Box& box, uint64_t id) {
   if (nodes_[at].entries.size() > kLeafCapacity) SplitLeaf(at);
 }
 
-void RTree::Probe(const Box& query, BoxOverlap mode,
-                  std::vector<uint64_t>* out) const {
+size_t RTree::Probe(const Box& query, BoxOverlap mode,
+                    std::vector<uint64_t>* out) const {
   STHIST_DCHECK(out != nullptr);
-  if (root_ < 0) return;
+  if (root_ < 0) return 0;
   // Iterative DFS; the stack is function-local so concurrent probes never
   // share mutable state.
+  size_t visited = 0;
   std::vector<int32_t> stack;
   stack.reserve(64);
   stack.push_back(root_);
   while (!stack.empty()) {
     const Node& node = nodes_[stack.back()];
     stack.pop_back();
+    ++visited;
     // Closed overlap is a superset of open-interior overlap, so it is a
     // valid prune for both modes; the exact predicate runs per entry.
     if (!ClosedOverlap(node.bounds, query)) continue;
@@ -177,6 +179,7 @@ void RTree::Probe(const Box& query, BoxOverlap mode,
       stack.push_back(node.right);
     }
   }
+  return visited;
 }
 
 }  // namespace sthist

@@ -62,9 +62,11 @@ class RTree {
   bool empty() const { return size_ == 0; }
 
   /// Appends the ids of every entry whose box overlaps `query` under `mode`
-  /// to `out` (not cleared first). Order unspecified.
-  void Probe(const Box& query, BoxOverlap mode,
-             std::vector<uint64_t>* out) const;
+  /// to `out` (not cleared first). Order unspecified. Returns the number of
+  /// tree nodes visited — the probe's work, reported through the
+  /// index.bucket_tree.node_visits metric (DESIGN.md §13).
+  size_t Probe(const Box& query, BoxOverlap mode,
+               std::vector<uint64_t>* out) const;
 
  private:
   // Leaf fan-out. Small enough that a leaf scan stays in one cache line

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "obs/trace.h"
 
 namespace sthist {
 
@@ -30,6 +31,10 @@ size_t InitializeHistogram(const std::vector<SubspaceCluster>& clusters,
                            const InitializerConfig& config, Histogram* hist) {
   STHIST_CHECK(hist != nullptr);
 
+  obs::MetricsRegistry* reg = obs::GlobalMetrics();
+  obs::Counter fed_metric = reg->counter("init.initializer.clusters_fed");
+  obs::ScopedTimer feed_timer(reg->latency("init.initializer.feed_seconds"));
+
   // Clusters arrive sorted by descending score from RunMineClus; re-sort
   // defensively so callers can pass arbitrary orderings.
   std::vector<const SubspaceCluster*> ordered;
@@ -50,6 +55,7 @@ size_t InitializeHistogram(const std::vector<SubspaceCluster>& clusters,
     if (bucket.Volume() <= 0.0) continue;
     hist->Refine(bucket, oracle);
     ++fed;
+    fed_metric.Inc();
   }
   return fed;
 }

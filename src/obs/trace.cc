@@ -1,0 +1,13 @@
+#include "obs/trace.h"
+
+namespace sthist::obs {
+
+double MonotonicSeconds() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       origin)
+      .count();
+}
+
+}  // namespace sthist::obs

@@ -1,0 +1,91 @@
+#ifndef STHIST_OBS_TRACE_H_
+#define STHIST_OBS_TRACE_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace sthist::obs {
+
+/// \file
+/// Stage tracing (DESIGN.md §13): RAII timers that record a code region's
+/// wall-clock duration into a LatencyHistogram, optionally also appending a
+/// span to the owning registry's TraceRing. When the target histogram handle
+/// is disabled the timer never reads the clock, so a fully disabled build
+/// path costs one branch per region.
+
+/// Seconds since an arbitrary process-stable origin, used to timestamp span
+/// starts in the ring.
+double MonotonicSeconds();
+
+/// Times one scope into a latency histogram.
+///
+///   obs::ScopedTimer timer(refine_seconds_);
+///   ...           // region under measurement
+///   // ~ScopedTimer records the elapsed seconds.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram target) : target_(target) {
+    if (target_.enabled()) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Stops the timer early and records; subsequent destruction is a no-op.
+  /// Returns the elapsed seconds (0 when disabled).
+  double Stop() {
+    if (!target_.enabled() || stopped_) return 0.0;
+    stopped_ = true;
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    target_.Observe(seconds);
+    return seconds;
+  }
+
+  ~ScopedTimer() { Stop(); }
+
+ private:
+  LatencyHistogram target_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+/// ScopedTimer plus a ring entry: names the span and, when `ring` is
+/// non-null, appends (name, start, duration) to it on completion. `name`
+/// must point at static storage (string literals) — the ring keeps the
+/// pointer, not a copy.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, LatencyHistogram target, TraceRing* ring)
+      : name_(name), target_(target), ring_(ring) {
+    if (target_.enabled() || ring_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+      start_seconds_ = MonotonicSeconds();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (!target_.enabled() && ring_ == nullptr) return;
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    target_.Observe(seconds);
+    if (ring_ != nullptr) ring_->Record(name_, start_seconds_, seconds);
+  }
+
+ private:
+  const char* name_;
+  LatencyHistogram target_;
+  TraceRing* ring_;
+  std::chrono::steady_clock::time_point start_;
+  double start_seconds_ = 0.0;
+};
+
+}  // namespace sthist::obs
+
+#endif  // STHIST_OBS_TRACE_H_

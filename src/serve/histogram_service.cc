@@ -16,6 +16,30 @@ HistogramService::HistogramService(std::unique_ptr<Histogram> initial,
       queue_(config.queue_capacity) {
   STHIST_CHECK(working_ != nullptr);
   STHIST_CHECK(config_.publish_batch > 0);
+
+  // stats() reads the metric cells back, so the service must always have an
+  // enabled registry: the configured one, else the process-wide default,
+  // else (when both are disabled null objects) a private one — never
+  // silently losing its stats.
+  obs::MetricsRegistry* candidate =
+      config_.metrics != nullptr ? config_.metrics : obs::GlobalMetrics();
+  if (candidate->enabled()) {
+    registry_ = candidate;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  reads_ = registry_->counter("serve.service.reads");
+  accepted_ = registry_->counter("serve.service.feedback_accepted");
+  dropped_full_ = registry_->counter("serve.service.feedback_dropped_full");
+  dropped_stopped_ =
+      registry_->counter("serve.service.feedback_dropped_stopped");
+  applied_ = registry_->counter("serve.service.feedback_applied");
+  publishes_ = registry_->counter("serve.service.publishes");
+  queue_depth_ = registry_->gauge("serve.service.queue_depth");
+  staleness_ = registry_->gauge("serve.service.staleness");
+  publish_seconds_ = registry_->latency("serve.service.publish_seconds");
+
   std::shared_ptr<const Histogram> first(working_->Clone());
   STHIST_CHECK_MSG(first != nullptr,
                    "HistogramService needs a histogram supporting Clone()");
@@ -26,13 +50,13 @@ HistogramService::HistogramService(std::unique_ptr<Histogram> initial,
 HistogramService::~HistogramService() { Stop(); }
 
 double HistogramService::Estimate(const Box& query) const {
-  reads_.fetch_add(1, std::memory_order_relaxed);
+  reads_.Inc();
   return snapshot_.load()->Estimate(query);
 }
 
 std::vector<double> HistogramService::EstimateBatch(
     std::span<const Box> queries) const {
-  reads_.fetch_add(queries.size(), std::memory_order_relaxed);
+  reads_.Inc(queries.size());
   // One load: the whole batch is answered by a single epoch even if a
   // publish lands while it runs.
   std::shared_ptr<const Histogram> snap = snapshot_.load();
@@ -43,13 +67,19 @@ std::shared_ptr<const Histogram> HistogramService::snapshot() const {
   return snapshot_.load();
 }
 
-bool HistogramService::SubmitFeedback(const Box& query) {
-  if (queue_.TryPush(query)) {
-    accepted_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+FeedbackOutcome HistogramService::SubmitFeedback(const Box& query) {
+  switch (queue_.TryPush(query)) {
+    case PushResult::kAccepted:
+      accepted_.Inc();
+      return FeedbackOutcome::kAccepted;
+    case PushResult::kFull:
+      dropped_full_.Inc();
+      return FeedbackOutcome::kQueueFull;
+    case PushResult::kClosed:
+      break;
   }
-  dropped_.fetch_add(1, std::memory_order_relaxed);
-  return false;
+  dropped_stopped_.Inc();
+  return FeedbackOutcome::kStopped;
 }
 
 void HistogramService::RefinerLoop() {
@@ -57,7 +87,7 @@ void HistogramService::RefinerLoop() {
   while (queue_.PopBatch(&batch, config_.publish_batch) > 0) {
     for (const Box& feedback : batch) {
       working_->Refine(feedback, oracle_);
-      applied_.fetch_add(1, std::memory_order_relaxed);
+      applied_.Inc();
     }
     // Publish once per applied batch: under load that is one clone per
     // publish_batch items, when idle one per item — the queue being the
@@ -65,6 +95,12 @@ void HistogramService::RefinerLoop() {
     // actually demands it.
     Publish();
   }
+  // Wake any Drain stuck on a horizon this refiner will never publish.
+  {
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    refiner_done_ = true;
+  }
+  publish_cv_.notify_all();
 }
 
 void HistogramService::Publish() {
@@ -72,12 +108,17 @@ void HistogramService::Publish() {
   std::shared_ptr<const Histogram> snap(working_->Clone());
   STHIST_CHECK(snap != nullptr);
   snapshot_.store(std::move(snap));
-  epoch_.fetch_add(1, std::memory_order_relaxed);
-  published_feedback_.store(applied_.load(std::memory_order_relaxed),
-                            std::memory_order_relaxed);
+  publishes_.Inc();
+  const size_t applied_now = applied_.value();
+  published_feedback_.store(applied_now, std::memory_order_relaxed);
+  const size_t accepted_now = accepted_.value();
+  staleness_.Set(static_cast<double>(
+      accepted_now > applied_now ? accepted_now - applied_now : 0));
+  queue_depth_.Set(static_cast<double>(queue_.size()));
   double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  publish_seconds_.Observe(seconds);
   {
     std::lock_guard<std::mutex> lock(publish_mutex_);
     last_publish_seconds_ = seconds;
@@ -86,15 +127,24 @@ void HistogramService::Publish() {
   publish_cv_.notify_all();
 }
 
-void HistogramService::Drain() {
+Status HistogramService::Drain() {
   // The horizon is the feedback accepted so far; every accepted item leads
   // to a later publish (each refiner batch ends in one), whose notify
-  // re-evaluates the predicate under publish_mutex_.
+  // re-evaluates the predicate under publish_mutex_. A finished refiner also
+  // wakes the wait so a stopped service reports kUnavailable instead of
+  // hanging on an unreachable horizon.
   std::unique_lock<std::mutex> lock(publish_mutex_);
   publish_cv_.wait(lock, [this] {
-    return published_feedback_.load(std::memory_order_relaxed) >=
-           accepted_.load(std::memory_order_relaxed);
+    return refiner_done_ ||
+           published_feedback_.load(std::memory_order_relaxed) >=
+               accepted_.value();
   });
+  if (published_feedback_.load(std::memory_order_relaxed) >=
+      accepted_.value()) {
+    return Status::Ok();
+  }
+  return Status::Unavailable(
+      "service stopped before the drain horizon was published");
 }
 
 void HistogramService::Stop() {
@@ -107,12 +157,14 @@ void HistogramService::Stop() {
 
 ServiceStats HistogramService::stats() const {
   ServiceStats s;
-  s.reads_served = reads_.load(std::memory_order_relaxed);
-  s.feedback_accepted = accepted_.load(std::memory_order_relaxed);
-  s.feedback_dropped = dropped_.load(std::memory_order_relaxed);
-  s.feedback_applied = applied_.load(std::memory_order_relaxed);
-  s.snapshot_epoch = epoch_.load(std::memory_order_relaxed);
-  s.publishes = s.snapshot_epoch;
+  s.reads_served = reads_.value();
+  s.feedback_accepted = accepted_.value();
+  s.feedback_dropped_full = dropped_full_.value();
+  s.feedback_dropped_stopped = dropped_stopped_.value();
+  s.feedback_dropped = s.feedback_dropped_full + s.feedback_dropped_stopped;
+  s.feedback_applied = applied_.value();
+  s.publishes = publishes_.value();
+  s.snapshot_epoch = s.publishes;
   s.queue_depth = queue_.size();
   size_t published = published_feedback_.load(std::memory_order_relaxed);
   s.staleness =

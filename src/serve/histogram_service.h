@@ -12,16 +12,18 @@
 
 #include "core/bounded_queue.h"
 #include "core/box.h"
+#include "core/status.h"
 #include "histogram/histogram.h"
+#include "obs/metrics.h"
 
 namespace sthist {
 
 /// Tuning knobs for HistogramService.
 struct ServiceConfig {
   /// Feedback queue capacity. A full queue sheds the newest feedback
-  /// (SubmitFeedback returns false, the drop counter bumps) rather than ever
-  /// stalling a query thread — estimation latency is the contract, feedback
-  /// is best-effort.
+  /// (SubmitFeedback reports kQueueFull, the drop counter bumps) rather than
+  /// ever stalling a query thread — estimation latency is the contract,
+  /// feedback is best-effort.
   size_t queue_capacity = 4096;
 
   /// Maximum feedback items the refiner applies between snapshot publishes
@@ -33,6 +35,23 @@ struct ServiceConfig {
   /// Threads for EstimateBatch on the served snapshot (0 = hardware
   /// concurrency, 1 = inline), forwarded to Histogram::EstimateBatch.
   size_t estimate_threads = 1;
+
+  /// Registry receiving the serve.service.* metrics (DESIGN.md §13). Null
+  /// means the process-wide obs::GlobalMetrics(). The service's own counters
+  /// (stats()) are these same cells, so when the chosen registry is a
+  /// disabled null object the service creates a private always-enabled
+  /// registry instead of silently losing its stats.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// What happened to one SubmitFeedback call. Both rejection outcomes mean
+/// the item was shed (never blocked on); they differ in what the caller can
+/// do about it: a full queue is transient backpressure, a stopped service is
+/// final.
+enum class FeedbackOutcome {
+  kAccepted,
+  kQueueFull,
+  kStopped,
 };
 
 /// Service counters, the serving-layer sibling of RobustnessStats: one
@@ -45,7 +64,11 @@ struct ServiceStats {
   size_t reads_served = 0;
   /// Feedback items admitted to the queue.
   size_t feedback_accepted = 0;
-  /// Feedback items shed: queue full, or submitted after Stop.
+  /// Feedback items shed because the queue was at capacity.
+  size_t feedback_dropped_full = 0;
+  /// Feedback items shed because they arrived after Stop.
+  size_t feedback_dropped_stopped = 0;
+  /// All feedback items shed, for any reason.
   size_t feedback_dropped = 0;
   /// Feedback items folded into the refiner's working copy.
   size_t feedback_applied = 0;
@@ -112,24 +135,34 @@ class HistogramService {
   /// it stays valid (and frozen) after the service moves on or shuts down.
   std::shared_ptr<const Histogram> snapshot() const;
 
-  /// Submits one executed query's box as refinement feedback. Returns false
-  /// when the feedback was shed (queue full or service stopped); never
-  /// blocks.
-  bool SubmitFeedback(const Box& query);
+  /// Submits one executed query's box as refinement feedback; never blocks.
+  /// kAccepted means the refiner will eventually apply it; the rejection
+  /// outcomes say why it was shed instead (queue at capacity vs. service
+  /// stopped).
+  FeedbackOutcome SubmitFeedback(const Box& query);
 
   /// Blocks until every feedback item accepted before this call has been
   /// applied and published, i.e. staleness from the caller's viewpoint is 0.
   /// Concurrent submitters can keep the horizon moving; with quiescent
-  /// producers this is a precise barrier.
-  void Drain();
+  /// producers this is a precise barrier. Returns OK once the horizon is
+  /// published, or kUnavailable if the refiner exited before reaching it
+  /// (cannot happen through the public API — Stop drains the queue — but the
+  /// contract is explicit rather than a hang).
+  Status Drain();
 
   /// Closes the feedback queue, drains what it holds, publishes the final
   /// snapshot, and joins the refiner. Estimation keeps working against the
   /// final snapshot; subsequent SubmitFeedback calls are shed. Idempotent.
   void Stop();
 
-  /// Current counters (see ServiceStats for the consistency caveat).
+  /// Current counters (see ServiceStats for the consistency caveat). The
+  /// values are read back from the serve.service.* metric cells — ServiceStats
+  /// is a typed view over the registry, not a parallel counting system.
   ServiceStats stats() const;
+
+  /// The registry holding this service's serve.service.* metrics: the one
+  /// from ServiceConfig, or the private fallback.
+  const obs::MetricsRegistry& metrics_registry() const { return *registry_; }
 
  private:
   void RefinerLoop();
@@ -138,6 +171,11 @@ class HistogramService {
   const ServiceConfig config_;
   const CardinalityOracle& oracle_;
 
+  /// Private fallback registry (see ServiceConfig::metrics); null when the
+  /// config supplied a usable one.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+
   /// The refiner's private working copy; touched only by the refiner thread
   /// after construction.
   std::unique_ptr<Histogram> working_;
@@ -145,19 +183,26 @@ class HistogramService {
 
   BoundedQueue<Box> queue_;
 
-  mutable std::atomic<size_t> reads_{0};
-  std::atomic<size_t> accepted_{0};
-  std::atomic<size_t> dropped_{0};
-  std::atomic<size_t> applied_{0};
-  std::atomic<size_t> published_feedback_{0};  // applied_ at last publish.
-  std::atomic<size_t> epoch_{0};
+  // serve.service.* handles; stats() reads these same cells back.
+  obs::Counter reads_;
+  obs::Counter accepted_;
+  obs::Counter dropped_full_;
+  obs::Counter dropped_stopped_;
+  obs::Counter applied_;
+  obs::Counter publishes_;
+  obs::Gauge queue_depth_;
+  obs::Gauge staleness_;
+  obs::LatencyHistogram publish_seconds_;
 
-  /// Guards the publish-latency numbers and pairs with publish_cv_ so
-  /// Drain's wakeups cannot be missed.
+  std::atomic<size_t> published_feedback_{0};  // applied count at last publish.
+
+  /// Guards the publish-latency numbers and refiner_done_, and pairs with
+  /// publish_cv_ so Drain's wakeups cannot be missed.
   mutable std::mutex publish_mutex_;
   std::condition_variable publish_cv_;
   double last_publish_seconds_ = 0.0;
   double max_publish_seconds_ = 0.0;
+  bool refiner_done_ = false;
 
   std::mutex stop_mutex_;  // Serializes Stop against itself (idempotence).
   bool stopped_ = false;

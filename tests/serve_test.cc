@@ -110,9 +110,11 @@ TEST(ServeTest, DrainMakesEveryAcceptedFeedbackVisible) {
 
   std::vector<Box> accepted;
   for (const Box& q : setup.train) {
-    if (service.SubmitFeedback(q)) accepted.push_back(q);
+    if (service.SubmitFeedback(q) == FeedbackOutcome::kAccepted) {
+      accepted.push_back(q);
+    }
   }
-  service.Drain();
+  EXPECT_TRUE(service.Drain().ok());
 
   ServiceStats stats = service.stats();
   EXPECT_EQ(stats.feedback_accepted, accepted.size());
@@ -133,7 +135,9 @@ TEST(ServeTest, PublishCadenceNeverChangesTheDrainedSnapshot) {
                              config);
     std::vector<Box> accepted;
     for (const Box& q : setup.train) {
-      if (service.SubmitFeedback(q)) accepted.push_back(q);
+      if (service.SubmitFeedback(q) == FeedbackOutcome::kAccepted) {
+        accepted.push_back(q);
+      }
     }
     service.Stop();
     ExpectBitwiseReplayMatch(setup, 30, accepted, *service.snapshot());
@@ -147,8 +151,13 @@ TEST(ServeTest, StopShedsLateFeedbackAndKeepsServing) {
   service.Stop();
   service.Stop();  // Idempotent.
 
-  EXPECT_FALSE(service.SubmitFeedback(setup.train.front()));
+  EXPECT_EQ(service.SubmitFeedback(setup.train.front()),
+            FeedbackOutcome::kStopped);
   EXPECT_GE(service.stats().feedback_dropped, 1u);
+  EXPECT_GE(service.stats().feedback_dropped_stopped, 1u);
+  // A drain on the stopped service must not hang: the horizon was published
+  // by Stop, so it reports OK immediately.
+  EXPECT_TRUE(service.Drain().ok());
   // The final snapshot still answers.
   double est = service.Estimate(setup.probes.front());
   EXPECT_TRUE(std::isfinite(est));
@@ -205,21 +214,27 @@ TEST(ServeTest, FullQueueShedsFeedbackInsteadOfBlocking) {
   HistogramService service(MakeHistogram(setup, 20), gate, config);
 
   // First item: the refiner pops it and parks inside the gated oracle.
-  ASSERT_TRUE(service.SubmitFeedback(setup.train[0]));
+  ASSERT_EQ(service.SubmitFeedback(setup.train[0]),
+            FeedbackOutcome::kAccepted);
   gate.WaitUntilEntered();
 
   // Now the queue fills to capacity, then sheds.
   size_t accepted = 0, shed = 0;
   for (size_t i = 0; i < 8; ++i) {
-    if (service.SubmitFeedback(setup.train[i % setup.train.size()])) {
+    FeedbackOutcome outcome =
+        service.SubmitFeedback(setup.train[i % setup.train.size()]);
+    if (outcome == FeedbackOutcome::kAccepted) {
       ++accepted;
     } else {
+      EXPECT_EQ(outcome, FeedbackOutcome::kQueueFull)
+          << "a live service sheds only on backpressure";
       ++shed;
     }
   }
   EXPECT_EQ(accepted, config.queue_capacity);
   EXPECT_EQ(shed, 8 - config.queue_capacity);
   EXPECT_EQ(service.stats().feedback_dropped, shed);
+  EXPECT_EQ(service.stats().feedback_dropped_full, shed);
 
   gate.Release();
   service.Stop();
@@ -266,7 +281,9 @@ TEST(ServeTest, ConcurrentReadersSeeConsistentSnapshots) {
   // producer makes the accepted sequence the submission order.
   std::vector<Box> accepted;
   for (const Box& q : setup.train) {
-    if (service.SubmitFeedback(q)) accepted.push_back(q);
+    if (service.SubmitFeedback(q) == FeedbackOutcome::kAccepted) {
+      accepted.push_back(q);
+    }
   }
   for (std::thread& t : readers) t.join();
   service.Stop();
@@ -288,7 +305,7 @@ TEST(ServeTest, EstimateBatchAnswersFromOneEpoch) {
   // Concurrent refinement runs while batches are served; each batch is
   // internally consistent because it holds one snapshot.
   std::thread feeder([&] {
-    for (const Box& q : setup.train) service.SubmitFeedback(q);
+    for (const Box& q : setup.train) (void)service.SubmitFeedback(q);
   });
   for (int round = 0; round < 30; ++round) {
     std::vector<double> batch = service.EstimateBatch(setup.probes);
@@ -296,7 +313,7 @@ TEST(ServeTest, EstimateBatchAnswersFromOneEpoch) {
     for (double est : batch) EXPECT_TRUE(std::isfinite(est));
   }
   feeder.join();
-  service.Drain();
+  EXPECT_TRUE(service.Drain().ok());
 
   // Quiescent: one more batch must match the snapshot exactly.
   std::shared_ptr<const Histogram> snap = service.snapshot();
@@ -310,19 +327,20 @@ TEST(ServeTest, EstimateBatchAnswersFromOneEpoch) {
 
 TEST(BoundedQueueTest, PushPopAndCloseSemantics) {
   BoundedQueue<int> queue(3);
-  EXPECT_TRUE(queue.TryPush(1));
-  EXPECT_TRUE(queue.TryPush(2));
-  EXPECT_TRUE(queue.TryPush(3));
-  EXPECT_FALSE(queue.TryPush(4)) << "capacity reached";
+  EXPECT_EQ(queue.TryPush(1), PushResult::kAccepted);
+  EXPECT_EQ(queue.TryPush(2), PushResult::kAccepted);
+  EXPECT_EQ(queue.TryPush(3), PushResult::kAccepted);
+  EXPECT_EQ(queue.TryPush(4), PushResult::kFull) << "capacity reached";
   EXPECT_EQ(queue.size(), 3u);
 
   std::vector<int> batch;
   EXPECT_EQ(queue.PopBatch(&batch, 2), 2u);
   EXPECT_EQ(batch, (std::vector<int>{1, 2}));
-  EXPECT_TRUE(queue.TryPush(4));
+  EXPECT_EQ(queue.TryPush(4), PushResult::kAccepted);
 
   queue.Close();
-  EXPECT_FALSE(queue.TryPush(5)) << "closed queue refuses items";
+  EXPECT_EQ(queue.TryPush(5), PushResult::kClosed)
+      << "closed queue refuses items";
   EXPECT_EQ(queue.PopBatch(&batch, 10), 2u) << "drains the remainder";
   EXPECT_EQ(batch, (std::vector<int>{3, 4}));
   EXPECT_EQ(queue.PopBatch(&batch, 10), 0u) << "terminal signal";
@@ -338,7 +356,9 @@ TEST(BoundedQueueTest, ManyProducersOneConsumerLosesNothing) {
   for (size_t p = 0; p < kProducers; ++p) {
     producers.emplace_back([&, p] {
       for (size_t i = 0; i < kPerProducer; ++i) {
-        if (queue.TryPush(p * kPerProducer + i)) accepted.fetch_add(1);
+        if (queue.TryPush(p * kPerProducer + i) == PushResult::kAccepted) {
+          accepted.fetch_add(1);
+        }
       }
     });
   }

@@ -40,6 +40,7 @@
 #include "histogram/census.h"
 #include "histogram/stholes.h"
 #include "init/initializer.h"
+#include "obs/metrics.h"
 #include "serve/histogram_service.h"
 #include "testing/fault_injection.h"
 
@@ -116,7 +117,11 @@ class Flags {
   Status error_;
 };
 
-// Flag groups shared by several subcommands.
+// Flag groups shared by several subcommands. Every subcommand accepts
+// --metrics-json <path>: main() installs a process-wide MetricsRegistry
+// before dispatching and exports its JSON snapshot afterwards (DESIGN.md
+// §13), so whatever layers the command exercised show up in the file.
+#define STHIST_COMMON_FLAGS "metrics-json"
 #define STHIST_DATASET_FLAGS "data", "dataset", "tuples", "dim", "seed"
 #define STHIST_CLUSTER_FLAGS                                          \
   "clusterer", "alpha", "beta", "width", "max-clusters", "xi", "tau", \
@@ -276,7 +281,7 @@ StatusOr<std::vector<size_t>> ParseSizeList(const std::string& text) {
 
 Status RunGenerate(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(
-      flags.CheckAllowed({STHIST_DATASET_FLAGS, "out"}));
+      flags.CheckAllowed({STHIST_COMMON_FLAGS, STHIST_DATASET_FLAGS, "out"}));
   StatusOr<GeneratedData> g = ResolveDataset(flags);
   if (!g.ok()) return g.status();
   std::string out = flags.Str("out", "");
@@ -291,7 +296,8 @@ Status RunGenerate(const Flags& flags) {
 
 Status RunCluster(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(
-      flags.CheckAllowed({STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS}));
+      flags.CheckAllowed(
+          {STHIST_COMMON_FLAGS, STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS}));
   StatusOr<GeneratedData> g = ResolveDataset(flags);
   if (!g.ok()) return g.status();
   StatusOr<std::unique_ptr<SubspaceClusterer>> clusterer =
@@ -320,9 +326,9 @@ Status RunCluster(const Flags& flags) {
 
 Status RunExperiment(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
-      {STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS, STHIST_FAULT_FLAGS,
-       "buckets", "train", "sim", "volume", "init", "reversed", "freeze",
-       "data-centers", "batch"}));
+      {STHIST_COMMON_FLAGS, STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS,
+       STHIST_FAULT_FLAGS, "buckets", "train", "sim", "volume", "init",
+       "reversed", "freeze", "data-centers", "batch"}));
   StatusOr<GeneratedData> g = ResolveDataset(flags);
   if (!g.ok()) return g.status();
   STHIST_RETURN_IF_ERROR(MaybeInjectDataFaults(flags, &*g));
@@ -386,9 +392,9 @@ Status RunExperiment(const Flags& flags) {
 // with --both.
 Status RunSweepCommand(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
-      {STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS, STHIST_FAULT_FLAGS,
-       "buckets", "seeds", "train", "sim", "volume", "init", "both",
-       "reversed", "freeze", "data-centers", "threads"}));
+      {STHIST_COMMON_FLAGS, STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS,
+       STHIST_FAULT_FLAGS, "buckets", "seeds", "train", "sim", "volume",
+       "init", "both", "reversed", "freeze", "data-centers", "threads"}));
   StatusOr<GeneratedData> g = ResolveDataset(flags);
   if (!g.ok()) return g.status();
   STHIST_RETURN_IF_ERROR(MaybeInjectDataFaults(flags, &*g));
@@ -466,8 +472,8 @@ Status RunSweepCommand(const Flags& flags) {
 
 Status RunInspect(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
-      {STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS, "buckets", "train",
-       "volume", "init", "out"}));
+      {STHIST_COMMON_FLAGS, STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS,
+       "buckets", "train", "volume", "init", "out"}));
   StatusOr<GeneratedData> g = ResolveDataset(flags);
   if (!g.ok()) return g.status();
   Experiment experiment(*std::move(g));
@@ -512,8 +518,9 @@ Status RunInspect(const Flags& flags) {
 // ServiceStats counters plus read throughput.
 Status RunServeSim(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
-      {STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS, "buckets", "train",
-       "queries", "readers", "volume", "init", "queue-cap", "publish-batch"}));
+      {STHIST_COMMON_FLAGS, STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS,
+       "buckets", "train", "queries", "readers", "volume", "init",
+       "queue-cap", "publish-batch", "batch"}));
   StatusOr<GeneratedData> g = ResolveDataset(flags);
   if (!g.ok()) return g.status();
   Experiment experiment(*std::move(g));
@@ -544,10 +551,19 @@ Status RunServeSim(const Flags& flags) {
   ServiceConfig sc;
   sc.queue_capacity = flags.Size("queue-cap", sc.queue_capacity);
   sc.publish_batch = flags.Size("publish-batch", sc.publish_batch);
+  // Batched estimation threads for the final pass below. Defaults to a
+  // small pool (not hardware concurrency) so the pool layer shows up in the
+  // metrics dump even on a single-core box; results are bitwise-identical
+  // at any value, so oversubscription only costs wall clock. --batch N
+  // overrides; --batch 0 (or bare --batch) = hardware concurrency.
+  sc.estimate_threads = flags.Has("batch") ? flags.Size("batch", 0) : 4;
   if (sc.queue_capacity == 0 || sc.publish_batch == 0) {
     return Status::InvalidArgument(
         "--queue-cap and --publish-batch must be > 0");
   }
+  // The service's serve.service.* counters land in the same process-wide
+  // registry as everything else, so the final /metrics dump is one document.
+  sc.metrics = obs::GlobalMetrics();
   HistogramService service(std::move(hist), experiment.executor(), sc);
 
   // Readers: estimate, then feed the executed query back — the full online
@@ -564,7 +580,7 @@ Status RunServeSim(const Flags& flags) {
       for (size_t i = 0; i < per_reader; ++i) {
         const Box& q = sim[(r * 17 + i) % sim.size()];
         local += service.Estimate(q);
-        service.SubmitFeedback(q);
+        (void)service.SubmitFeedback(q);
       }
       sink.fetch_add(local);
     });
@@ -579,6 +595,13 @@ Status RunServeSim(const Flags& flags) {
   double total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+
+  // One batched pass over the simulation workload against the final
+  // snapshot: exercises the EstimateBatch fan-out (and with it the thread
+  // pool) on the exact histogram the readers ended on.
+  std::vector<double> batched = service.EstimateBatch(sim);
+  double batched_sum = 0.0;
+  for (double est : batched) batched_sum += est;
 
   ServiceStats stats = service.stats();
   TablePrinter table({"metric", "value"});
@@ -598,11 +621,22 @@ Status RunServeSim(const Flags& flags) {
   table.AddRow({"max publish ms",
                 FormatDouble(stats.max_publish_seconds * 1e3, 2)});
   table.AddRow({"drain+total s", FormatDouble(total_seconds, 2)});
+  table.AddRow({"batched queries", FormatSize(batched.size())});
+  table.AddRow({"batched mean est",
+                FormatDouble(batched.empty()
+                                 ? 0.0
+                                 : batched_sum /
+                                       static_cast<double>(batched.size()),
+                             1)});
   table.Print();
 
   const Histogram& snapshot = *service.snapshot();
   std::printf("final snapshot: %zu buckets, robustness events %zu\n",
               snapshot.bucket_count(), snapshot.robustness().total());
+
+  // The /metrics-style dump: every layer the simulation touched, one line
+  // per metric (DESIGN.md §13).
+  std::printf("--- metrics ---\n%s", obs::GlobalMetrics()->ToText().c_str());
   return Status::Ok();
 }
 
@@ -635,12 +669,35 @@ void PrintUsage() {
       "              --buckets N --train N [--init] [--out hist.txt]\n"
       "  serve-sim   concurrent serving simulation: reader threads estimate\n"
       "              against published snapshots while the refiner drains\n"
-      "              their feedback\n"
+      "              their feedback; ends with a /metrics-style dump\n"
       "              --readers N --queries N --buckets N --train N [--init]\n"
-      "              --queue-cap N --publish-batch N + cluster flags\n"
+      "              --queue-cap N --publish-batch N [--batch [N]]\n"
+      "              + cluster flags\n"
+      "\n"
+      "every command accepts --metrics-json <path>: export the run's\n"
+      "metrics registry (counters, gauges, latency histograms) as JSON\n"
       "\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage error\n",
       stderr);
+}
+
+// Writes the registry's JSON snapshot to the --metrics-json path, if given.
+Status MaybeWriteMetricsJson(const Flags& flags,
+                             const obs::MetricsRegistry& registry) {
+  if (!flags.Has("metrics-json")) return Status::Ok();
+  std::string path = flags.Str("metrics-json", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("--metrics-json needs a file path");
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot write " + path);
+  std::string json = registry.ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_error = std::fclose(f);
+  if (written != json.size() || close_error != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -657,6 +714,12 @@ int main(int argc, char** argv) {
     PrintUsage();
     return kExitUsage;
   }
+
+  // Process-wide metrics: installed before any instrumented component is
+  // constructed, exported after the command finishes (--metrics-json).
+  obs::MetricsRegistry registry;
+  registry.EnableTracing();
+  obs::SetGlobalMetrics(&registry);
 
   Status status;
   if (command == "generate") {
@@ -677,6 +740,10 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
 
+  // Export metrics even when the command failed — a partial run's counters
+  // are exactly what post-mortems want — but never mask the command's error.
+  Status metrics_status = MaybeWriteMetricsJson(flags, registry);
+
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     if (status.code() == StatusCode::kInvalidArgument &&
@@ -684,6 +751,10 @@ int main(int argc, char** argv) {
       PrintUsage();
       return kExitUsage;
     }
+    return kExitFailure;
+  }
+  if (!metrics_status.ok()) {
+    std::fprintf(stderr, "%s\n", metrics_status.ToString().c_str());
     return kExitFailure;
   }
   return kExitOk;
