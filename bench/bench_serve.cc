@@ -11,9 +11,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -130,6 +132,114 @@ Throughput MeasureReads(const ServeBenchSetup& setup, size_t buckets,
   return result;
 }
 
+// Read throughput while a background re-initialization is in flight,
+// relative to the live steady state at the same reader count. The builder is
+// parked inside the rebuild hook (zero CPU, like a rebuild blocked on a slow
+// oracle), so any throughput loss would mean readers couple to the rebuild —
+// the hot-swap contract says they never do.
+double MeasureRebuildWindowRatio(const ServeBenchSetup& setup, size_t buckets,
+                                 size_t readers, size_t reads_per_thread) {
+  Throughput steady =
+      MeasureReads(setup, buckets, readers, reads_per_thread, true);
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool builder_entered = false;
+  bool release_builder = false;
+  std::unique_ptr<STHoles> reference = MakeTrainedHistogram(setup, buckets);
+  const STHoles* reference_raw = reference.get();
+
+  ServiceConfig config;
+  config.reinit.enabled = true;
+  config.reinit.domain = setup.g.domain;
+  config.reinit.background = true;
+  config.reinit.detector.window = 16;
+  config.reinit.detector.trigger_nae = 0.05;
+  config.reinit.detector.rearm_nae = 0.01;
+  config.reinit.detector.cooldown = 64;
+  config.reinit.detector.retrigger_backstop = 1u << 20;  // One rebuild/run.
+  config.reinit.rebuild_override = [&](const Dataset&, double) {
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      builder_entered = true;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return release_builder; });
+    }
+    return reference_raw->Clone();
+  };
+
+  HistogramService service(MakeTrainedHistogram(setup, buckets),
+                           *setup.executor, config);
+
+  // Garbage served estimates force the trigger as soon as the window fills.
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    size_t i = 0;
+    while (!builder_entered && i < 100000) {
+      lock.unlock();
+      (void)service.SubmitFeedback(setup.feedback[i % setup.feedback.size()],
+                                   1e9);
+      ++i;
+      lock.lock();
+    }
+    if (!gate_cv.wait_for(lock, std::chrono::seconds(10),
+                          [&] { return builder_entered; })) {
+      std::fprintf(stderr, "FAIL: stagnation trigger never fired\n");
+      std::exit(EXIT_FAILURE);
+    }
+  }
+
+  // Rebuild parked in flight: measure reads under the same live feedback
+  // load as the steady-state row.
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop_feeder{false};
+  std::thread feeder([&] {
+    while (!start.load()) std::this_thread::yield();
+    size_t i = 0;
+    while (!stop_feeder.load()) {
+      (void)service.SubmitFeedback(setup.feedback[i % setup.feedback.size()],
+                                   1e9);
+      ++i;
+    }
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  std::atomic<double> sink{0.0};
+  for (size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      while (!start.load()) std::this_thread::yield();
+      double local = 0.0;
+      for (size_t i = 0; i < reads_per_thread; ++i) {
+        local += service.Estimate(setup.probes[(r + i) % setup.probes.size()]);
+      }
+      sink.fetch_add(local);
+    });
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  start.store(true);
+  for (std::thread& t : threads) t.join();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stop_feeder.store(true);
+  feeder.join();
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release_builder = true;
+  }
+  gate_cv.notify_all();
+  service.Stop();
+
+  double rebuild_rps =
+      static_cast<double>(readers * reads_per_thread) / seconds;
+  std::printf(
+      "rebuild window: %.0f reads/s vs steady %.0f reads/s "
+      "(%zu readers, swap %s)\n",
+      rebuild_rps, steady.reads_per_second, readers,
+      service.stats().reinit_swaps_completed > 0 ? "completed" : "pending");
+  return rebuild_rps / steady.reads_per_second;
+}
+
 }  // namespace
 }  // namespace sthist::bench
 
@@ -167,17 +277,27 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  // Hot-swap liveness: read throughput with a rebuild parked in flight must
+  // stay within 10% of the live steady state (the ISSUE's acceptance bound)
+  // on a machine with cores to spare; tighter boxes only report.
+  const double rebuild_ratio =
+      MeasureRebuildWindowRatio(setup, buckets, 2, reads_per_thread);
+  const bool many_cores = std::thread::hardware_concurrency() > 2;
+  const double rebuild_floor = many_cores ? 0.9 : 0.0;
+
   // On a many-core box the live/idle ratio sits near 1.0 (readers never
   // touch the refiner's locks); on a single core the refiner and feeder
   // legitimately steal CPU time from readers. Flag only a collapse below
   // what CPU sharing can explain — that would mean readers are *blocking*
   // on the writer.
-  const double floor = std::thread::hardware_concurrency() > 2 ? 0.5 : 0.2;
+  const double floor = many_cores ? 0.5 : 0.2;
   // The artifact carries the headline number plus the full metrics
   // registry (publish latency histogram, drop counters, ...).
   if (!WriteBenchArtifact(options, "serve",
                           {{"worst_live_idle_ratio", worst_ratio},
-                           {"floor", floor}})) {
+                           {"floor", floor},
+                           {"rebuild_window_ratio", rebuild_ratio},
+                           {"rebuild_floor", rebuild_floor}})) {
     return EXIT_FAILURE;
   }
 
@@ -189,8 +309,17 @@ int main(int argc, char** argv) {
                  worst_ratio, floor);
     return EXIT_FAILURE;
   }
-  std::printf("worst live/idle ratio %.2f (floor %.2f): readers never block "
-              "on refinement\n",
-              worst_ratio, floor);
+  if (rebuild_ratio < rebuild_floor) {
+    std::fprintf(stderr,
+                 "FAIL: an in-flight rebuild dented read throughput "
+                 "(rebuild/steady ratio %.2f < %.2f) — the hot swap "
+                 "appears to block readers\n",
+                 rebuild_ratio, rebuild_floor);
+    return EXIT_FAILURE;
+  }
+  std::printf("worst live/idle ratio %.2f (floor %.2f), rebuild-window "
+              "ratio %.2f (floor %.2f): readers never block on refinement "
+              "or rebuilds\n",
+              worst_ratio, floor, rebuild_ratio, rebuild_floor);
   return EXIT_SUCCESS;
 }

@@ -1,6 +1,7 @@
 #ifndef STHIST_CORE_BOUNDED_QUEUE_H_
 #define STHIST_CORE_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -65,6 +66,27 @@ class BoundedQueue {
     out->clear();
     std::unique_lock<std::mutex> lock(mutex_);
     ready_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    size_t n = std::min(max_items, items_.size());
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return n;
+  }
+
+  /// Timed variant of PopBatch for consumers with periodic side work (the
+  /// refiner polling a background rebuild): waits at most `timeout` for an
+  /// item. Returns the number popped — 0 on timeout as well as on
+  /// closed-and-drained, so such consumers distinguish the two via
+  /// closed()/size() before treating 0 as termination.
+  template <typename Rep, typename Period>
+  size_t PopBatchFor(std::vector<T>* out, size_t max_items,
+                     std::chrono::duration<Rep, Period> timeout) {
+    STHIST_CHECK(max_items > 0);
+    out->clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_cv_.wait_for(lock, timeout,
+                       [this] { return closed_ || !items_.empty(); });
     size_t n = std::min(max_items, items_.size());
     for (size_t i = 0; i < n; ++i) {
       out->push_back(std::move(items_.front()));

@@ -4,19 +4,83 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "clustering/mineclus.h"
 #include "core/bounded_queue.h"
 #include "core/box.h"
 #include "core/status.h"
 #include "histogram/histogram.h"
+#include "init/initializer.h"
 #include "obs/metrics.h"
+#include "serve/stagnation.h"
+#include "testing/fault_injection.h"
 
 namespace sthist {
+
+class TrivialHistogram;
+
+/// Online re-initialization knobs (DESIGN.md §14). When enabled, the refiner
+/// runs a StagnationDetector over its feedback stream and, on trigger,
+/// re-clusters a reservoir sample of recent feedback (MineClus + the paper's
+/// initializer) into a fresh histogram that hot-swaps through the normal
+/// snapshot-publish path — readers never block on the rebuild.
+struct ReinitConfig {
+  bool enabled = false;
+
+  /// The attribute-value domain D of the rebuilt histograms and the trivial
+  /// control. Required when enabled (the service cannot infer it: the
+  /// initial histogram's root box is not exposed by the Histogram API).
+  Box domain;
+
+  StagnationConfig detector;
+  ReservoirConfig reservoir;
+
+  /// Clustering and initialization of the rebuilt histogram (paper §4.1 run
+  /// online over the reservoir instead of offline over the relation).
+  MineClusConfig mineclus;
+  InitializerConfig initializer;
+
+  /// Bucket budget of rebuilt STHoles histograms.
+  size_t max_buckets = 100;
+
+  /// true: rebuild on a background thread while the refiner keeps applying
+  /// feedback (production mode — reads and refinement never block on the
+  /// rebuild). false: rebuild inline on the refiner thread, which makes the
+  /// whole trigger→swap sequence deterministic for tests.
+  bool background = true;
+
+  /// Feedback applied while a rebuild is in flight is also retained (up to
+  /// this many items) and replayed onto the rebuilt histogram before it
+  /// swaps in, so the swap does not forget the queries of the rebuild
+  /// window. Overflow is shed oldest-kept-first (the reservoir still saw
+  /// every item).
+  size_t replay_capacity = 4096;
+
+  /// The trivial control's total tuple count is re-read from the oracle
+  /// every this many observed feedback items (drift moves the row count;
+  /// a stale control skews the NAE). 0 disables refresh.
+  size_t trivial_refresh = 1024;
+
+  /// Fault injection on the rebuild path: the oracle feeding the
+  /// re-initializer is wrapped in a FaultyOracle with this config when
+  /// rate > 0. The rebuild thread gets its own injector instance
+  /// (FaultyOracle is stateful and not thread-safe).
+  FaultConfig rebuild_faults;
+
+  /// TEST/BENCH hook: replaces MineClus + initializer when set. Receives the
+  /// reservoir sample and the domain total; returns the rebuilt histogram
+  /// (nullptr = rebuild failure, exercising the abort path).
+  std::function<std::unique_ptr<Histogram>(const Dataset& sample,
+                                           double total_tuples)>
+      rebuild_override;
+};
 
 /// Tuning knobs for HistogramService.
 struct ServiceConfig {
@@ -42,6 +106,15 @@ struct ServiceConfig {
   /// disabled null object the service creates a private always-enabled
   /// registry instead of silently losing its stats.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Fault injection on the refiner path: when rate > 0 every oracle answer
+  /// the refiner consumes (detector observations and Refine feedback counts)
+  /// flows through a FaultyOracle — the serving loop's fault coverage.
+  /// Readers are unaffected (estimates never consult the oracle).
+  FaultConfig faults;
+
+  /// Stagnation detection + online re-initialization (DESIGN.md §14).
+  ReinitConfig reinit;
 };
 
 /// What happened to one SubmitFeedback call. Both rejection outcomes mean
@@ -52,6 +125,16 @@ enum class FeedbackOutcome {
   kAccepted,
   kQueueFull,
   kStopped,
+};
+
+/// One queued feedback item: the executed query plus the estimate that was
+/// served for it. The stagnation detector grades the *served* estimate — the
+/// number production actually acted on, staleness and all — not the refiner's
+/// one-step-ahead view, which adapts far too quickly to reveal that readers
+/// are being fed garbage under drift.
+struct Feedback {
+  Box query;
+  double served_estimate = 0.0;
 };
 
 /// Service counters, the serving-layer sibling of RobustnessStats: one
@@ -68,8 +151,6 @@ struct ServiceStats {
   size_t feedback_dropped_full = 0;
   /// Feedback items shed because they arrived after Stop.
   size_t feedback_dropped_stopped = 0;
-  /// All feedback items shed, for any reason.
-  size_t feedback_dropped = 0;
   /// Feedback items folded into the refiner's working copy.
   size_t feedback_applied = 0;
   /// Published snapshot generation; the initial snapshot is epoch 0 and
@@ -87,9 +168,30 @@ struct ServiceStats {
   /// (clone + pointer swap), seconds.
   double last_publish_seconds = 0.0;
   double max_publish_seconds = 0.0;
+
+  /// Stagnation triggers fired by the detector (serve.reinit.triggers).
+  size_t reinit_triggers = 0;
+  /// Rebuilt histograms swapped in / rebuilds abandoned (validation failure
+  /// or a null rebuild), keeping the incumbent serving.
+  size_t reinit_swaps_completed = 0;
+  size_t reinit_swaps_aborted = 0;
+  /// Rebuild-window feedback items replayed onto rebuilt histograms.
+  size_t reinit_replayed = 0;
+  /// Points currently held by the feedback reservoir.
+  size_t reservoir_size = 0;
+  /// Most recent rolling NAE the detector computed (NaN before the first
+  /// windowed observation).
+  double rolling_nae = 0.0;
+
+  /// All feedback items shed, for any reason. Derived from the two split
+  /// counters at read time, so dropped == dropped_full + dropped_stopped
+  /// holds by construction rather than by a third independently-bumped cell.
+  size_t feedback_dropped() const {
+    return feedback_dropped_full + feedback_dropped_stopped;
+  }
 };
 
-/// Snapshot-isolated histogram serving (DESIGN.md §11).
+/// Snapshot-isolated histogram serving (DESIGN.md §11, §14).
 ///
 /// Concurrent readers estimate against an immutable published snapshot
 /// (`std::shared_ptr<const Histogram>` behind an atomic), while one refiner
@@ -99,12 +201,22 @@ struct ServiceStats {
 /// never blocks on readers; a reader holding a snapshot keeps it alive after
 /// newer epochs supersede it.
 ///
+/// With ReinitConfig::enabled the refiner additionally runs the drift loop
+/// of DESIGN.md §14: a rolling-NAE stagnation detector over the feedback it
+/// applies, a reservoir sample of that feedback, and — on trigger — a
+/// MineClus + initializer rebuild of the histogram from the reservoir that
+/// hot-swaps through the same snapshot-publish path. Reads never block on
+/// the rebuild; a failed rebuild degrades back to the incumbent histogram.
+///
 /// Determinism: feedback is applied in queue (FIFO) order against the same
 /// oracle a serial loop would use, so after Drain/Stop the published
 /// snapshot's estimates are bitwise-identical to a single-threaded replay of
 /// the accepted feedback sequence onto the initial histogram — regardless of
 /// reader count, publish cadence, or scheduling (tests/serve_test.cc holds
-/// this to std::bit_cast equality).
+/// this to std::bit_cast equality). With re-init enabled the same holds in
+/// synchronous rebuild mode (background = false, the test configuration);
+/// background rebuilds keep every guarantee except *when* the swap lands
+/// relative to concurrent feedback.
 ///
 /// The histogram must support Clone() (STHoles does); the oracle must be
 /// const-thread-safe and outlive the service.
@@ -112,7 +224,8 @@ class HistogramService {
  public:
   /// Takes ownership of `initial` as the refiner's working copy, publishes
   /// its clone as snapshot epoch 0, and starts the refiner thread. Aborts if
-  /// `initial` is null or does not support Clone().
+  /// `initial` is null, does not support Clone(), or the re-init config is
+  /// invalid (enabled with an empty domain or bad detector/reservoir knobs).
   HistogramService(std::unique_ptr<Histogram> initial,
                    const CardinalityOracle& oracle,
                    const ServiceConfig& config = {});
@@ -139,7 +252,15 @@ class HistogramService {
   /// kAccepted means the refiner will eventually apply it; the rejection
   /// outcomes say why it was shed instead (queue at capacity vs. service
   /// stopped).
-  FeedbackOutcome SubmitFeedback(const Box& query);
+  ///
+  /// `served_estimate` is the estimate the caller served for this query —
+  /// what the stagnation detector grades. Callers that did not capture one
+  /// pass NaN (the default): with re-init enabled the service then samples
+  /// the current snapshot itself, so the detector never silently loses its
+  /// signal.
+  FeedbackOutcome SubmitFeedback(
+      const Box& query,
+      double served_estimate = std::numeric_limits<double>::quiet_NaN());
 
   /// Blocks until every feedback item accepted before this call has been
   /// applied and published, i.e. staleness from the caller's viewpoint is 0.
@@ -147,17 +268,21 @@ class HistogramService {
   /// producers this is a precise barrier. Returns OK once the horizon is
   /// published, or kUnavailable if the refiner exited before reaching it
   /// (cannot happen through the public API — Stop drains the queue — but the
-  /// contract is explicit rather than a hang).
+  /// contract is explicit rather than a hang). A background rebuild in
+  /// flight does not hold Drain hostage: refinement continues during the
+  /// rebuild, so the horizon keeps publishing.
   Status Drain();
 
-  /// Closes the feedback queue, drains what it holds, publishes the final
-  /// snapshot, and joins the refiner. Estimation keeps working against the
-  /// final snapshot; subsequent SubmitFeedback calls are shed. Idempotent.
+  /// Closes the feedback queue, drains what it holds, completes (or aborts)
+  /// any in-flight rebuild, publishes the final snapshot, and joins the
+  /// refiner. Estimation keeps working against the final snapshot;
+  /// subsequent SubmitFeedback calls are shed. Idempotent.
   void Stop();
 
   /// Current counters (see ServiceStats for the consistency caveat). The
-  /// values are read back from the serve.service.* metric cells — ServiceStats
-  /// is a typed view over the registry, not a parallel counting system.
+  /// values are read back from the serve.service.* / serve.reinit.* metric
+  /// cells — ServiceStats is a typed view over the registry, not a parallel
+  /// counting system.
   ServiceStats stats() const;
 
   /// The registry holding this service's serve.service.* metrics: the one
@@ -166,10 +291,30 @@ class HistogramService {
 
  private:
   void RefinerLoop();
+  void ApplyFeedback(const Feedback& feedback);
   void Publish();
+
+  /// Starts (or, in synchronous mode, runs to completion) a rebuild from the
+  /// current reservoir. Refiner thread only; no-op if one is in flight.
+  void StartRebuild();
+  /// The rebuild body: clusters the sample, initializes a fresh histogram,
+  /// validates it. Runs on the builder thread (or inline when background is
+  /// off); the only members it touches are the immutable config/oracle and
+  /// the rebuild_* slots handed to it.
+  void RunRebuild();
+  /// Joins the builder, replays the rebuild-window feedback, and swaps the
+  /// rebuilt histogram in as the working copy (or aborts to the incumbent).
+  /// Refiner thread only.
+  void CompleteSwap();
 
   const ServiceConfig config_;
   const CardinalityOracle& oracle_;
+
+  /// Refiner-path fault injector (ServiceConfig::faults); refine_oracle_
+  /// points at it when active, else at oracle_. FaultyOracle is stateful and
+  /// not thread-safe — only the refiner thread consumes refine_oracle_.
+  std::unique_ptr<FaultyOracle> refiner_faults_;
+  const CardinalityOracle* refine_oracle_ = nullptr;
 
   /// Private fallback registry (see ServiceConfig::metrics); null when the
   /// config supplied a usable one.
@@ -181,7 +326,20 @@ class HistogramService {
   std::unique_ptr<Histogram> working_;
   std::atomic<std::shared_ptr<const Histogram>> snapshot_;
 
-  BoundedQueue<Box> queue_;
+  BoundedQueue<Feedback> queue_;
+
+  // Drift loop state (ReinitConfig::enabled); refiner thread only except
+  // where noted.
+  std::unique_ptr<StagnationDetector> detector_;
+  std::unique_ptr<FeedbackReservoir> reservoir_;
+  std::unique_ptr<TrivialHistogram> trivial_;
+  size_t observed_since_refresh_ = 0;
+  std::vector<Feedback> replay_;  // Rebuild-window feedback, FIFO.
+  bool rebuild_inflight_ = false;
+  std::thread builder_;
+  std::atomic<bool> rebuild_ready_{false};
+  Dataset rebuild_sample_{1};  // Handed to the builder at StartRebuild.
+  std::unique_ptr<Histogram> rebuilt_;  // Builder's result (null = failed).
 
   // serve.service.* handles; stats() reads these same cells back.
   obs::Counter reads_;
@@ -193,6 +351,15 @@ class HistogramService {
   obs::Gauge queue_depth_;
   obs::Gauge staleness_;
   obs::LatencyHistogram publish_seconds_;
+
+  // serve.reinit.* handles (registered only when re-init is enabled).
+  obs::Counter reinit_triggers_;
+  obs::Counter reinit_swaps_completed_;
+  obs::Counter reinit_swaps_aborted_;
+  obs::Counter reinit_replayed_;
+  obs::Gauge reservoir_size_;
+  obs::Gauge rolling_nae_;
+  obs::LatencyHistogram rebuild_seconds_;
 
   std::atomic<size_t> published_feedback_{0};  // applied count at last publish.
 

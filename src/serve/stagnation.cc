@@ -1,0 +1,197 @@
+#include "serve/stagnation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sthist {
+
+namespace {
+
+// Floor for the trivial-error denominator: a window where the trivial
+// histogram is (near-)exact must still produce a finite ratio, and any real
+// error against it should read as stagnation, not divide to infinity.
+constexpr double kDenominatorFloor = 1e-9;
+
+}  // namespace
+
+Status Validate(const StagnationConfig& config) {
+  if (config.window == 0) {
+    return Status::InvalidArgument("stagnation window must be positive");
+  }
+  if (!std::isfinite(config.trigger_nae) || config.trigger_nae <= 0.0) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "trigger_nae must be finite and positive, got %g",
+                   config.trigger_nae);
+  }
+  if (!std::isfinite(config.rearm_nae) || config.rearm_nae <= 0.0 ||
+      config.rearm_nae >= config.trigger_nae) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "rearm_nae must be in (0, trigger_nae=%g), got %g",
+                   config.trigger_nae, config.rearm_nae);
+  }
+  if (config.retrigger_backstop <= config.cooldown) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "retrigger_backstop (%zu) must exceed cooldown (%zu)",
+                   config.retrigger_backstop, config.cooldown);
+  }
+  return Status::Ok();
+}
+
+StagnationDetector::StagnationDetector(const StagnationConfig& config)
+    : config_(config),
+      err_(config.window, 0.0),
+      trivial_err_(config.window, 0.0) {
+  STHIST_CHECK(Validate(config).ok());
+}
+
+void StagnationDetector::ClearWindow() {
+  std::fill(err_.begin(), err_.end(), 0.0);
+  std::fill(trivial_err_.begin(), trivial_err_.end(), 0.0);
+  next_ = 0;
+  filled_ = 0;
+  err_sum_ = 0.0;
+  trivial_sum_ = 0.0;
+}
+
+double StagnationDetector::RollingNae() const {
+  if (filled_ == 0) return NAN;
+  return err_sum_ / std::max(trivial_sum_, kDenominatorFloor);
+}
+
+bool StagnationDetector::Observe(double estimate, double trivial_estimate,
+                                 double actual) {
+  if (!std::isfinite(estimate) || !std::isfinite(trivial_estimate) ||
+      !std::isfinite(actual)) {
+    return false;
+  }
+  ++observations_;
+
+  err_sum_ -= err_[next_];
+  trivial_sum_ -= trivial_err_[next_];
+  err_[next_] = std::fabs(estimate - actual);
+  trivial_err_[next_] = std::fabs(trivial_estimate - actual);
+  err_sum_ += err_[next_];
+  trivial_sum_ += trivial_err_[next_];
+  next_ = (next_ + 1) % config_.window;
+  if (filled_ < config_.window) ++filled_;
+
+  // Every wrap, recompute the sums exactly: the subtract-add accumulators
+  // stay bit-deterministic either way, but without this they can drift
+  // arbitrarily far from the true window sums over a long run.
+  if (next_ == 0 && filled_ == config_.window) {
+    err_sum_ = 0.0;
+    trivial_sum_ = 0.0;
+    for (size_t i = 0; i < config_.window; ++i) {
+      err_sum_ += err_[i];
+      trivial_sum_ += trivial_err_[i];
+    }
+  }
+
+  switch (state_) {
+    case State::kWarmup:
+      if (filled_ == config_.window) state_ = State::kArmed;
+      break;
+    case State::kCooldown: {
+      ++since_trigger_;
+      const bool recovered = since_trigger_ >= config_.cooldown &&
+                             filled_ == config_.window &&
+                             RollingNae() < config_.rearm_nae;
+      if (recovered || since_trigger_ >= config_.retrigger_backstop) {
+        state_ = State::kArmed;
+      }
+      break;
+    }
+    case State::kArmed:
+      break;
+  }
+
+  if (state_ == State::kArmed && filled_ == config_.window &&
+      RollingNae() >= config_.trigger_nae) {
+    state_ = State::kCooldown;
+    since_trigger_ = 0;
+    ++triggers_;
+    return true;
+  }
+  return false;
+}
+
+void StagnationDetector::NoteSwap() {
+  ClearWindow();
+  state_ = State::kCooldown;
+  since_trigger_ = 0;
+}
+
+Status Validate(const ReservoirConfig& config) {
+  if (config.capacity == 0) {
+    return Status::InvalidArgument("reservoir capacity must be positive");
+  }
+  if (config.max_points_per_feedback == 0) {
+    return Status::InvalidArgument(
+        "reservoir max_points_per_feedback must be positive");
+  }
+  if (!std::isfinite(config.tuples_per_point) ||
+      config.tuples_per_point <= 0.0) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "reservoir tuples_per_point must be positive, got %g",
+                   config.tuples_per_point);
+  }
+  return Status::Ok();
+}
+
+FeedbackReservoir::FeedbackReservoir(size_t dim, const ReservoirConfig& config)
+    : dim_(dim), config_(config), rng_(config.seed), scratch_(dim) {
+  STHIST_CHECK(dim > 0);
+  STHIST_CHECK(Validate(config).ok());
+  points_.reserve(config.capacity * dim);
+}
+
+void FeedbackReservoir::Add(const Box& box, double actual) {
+  if (box.dim() != dim_) return;
+  if (!std::isfinite(actual) || actual <= 0.0) return;
+  ++feedbacks_;
+
+  const size_t points =
+      std::clamp<size_t>(static_cast<size_t>(
+                             std::ceil(actual / config_.tuples_per_point)),
+                         1, config_.max_points_per_feedback);
+  for (size_t k = 0; k < points; ++k) {
+    for (size_t d = 0; d < dim_; ++d) {
+      scratch_[d] = rng_.Uniform(box.lo(d), box.hi(d));
+    }
+    ++stream_points_;
+    if (size() < config_.capacity) {
+      points_.insert(points_.end(), scratch_.begin(), scratch_.end());
+    } else {
+      // Algorithm R: replace slot j with probability capacity / stream.
+      const size_t j = rng_.Index(static_cast<size_t>(stream_points_));
+      if (j < config_.capacity) {
+        std::copy(scratch_.begin(), scratch_.end(),
+                  points_.begin() + j * dim_);
+      }
+    }
+  }
+
+  // Ageing: halving the virtual stream length boosts the acceptance rate of
+  // everything after it, biasing the sample toward recent phases.
+  if (config_.age_interval > 0 && feedbacks_ % config_.age_interval == 0) {
+    stream_points_ = std::max<uint64_t>(stream_points_ / 2, size());
+  }
+}
+
+Dataset FeedbackReservoir::ToDataset() const {
+  Dataset data(dim_);
+  data.Reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    data.Append({points_.data() + i * dim_, dim_});
+  }
+  return data;
+}
+
+void FeedbackReservoir::Clear() {
+  points_.clear();
+  stream_points_ = 0;
+}
+
+}  // namespace sthist

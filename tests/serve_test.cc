@@ -153,7 +153,7 @@ TEST(ServeTest, StopShedsLateFeedbackAndKeepsServing) {
 
   EXPECT_EQ(service.SubmitFeedback(setup.train.front()),
             FeedbackOutcome::kStopped);
-  EXPECT_GE(service.stats().feedback_dropped, 1u);
+  EXPECT_GE(service.stats().feedback_dropped(), 1u);
   EXPECT_GE(service.stats().feedback_dropped_stopped, 1u);
   // A drain on the stopped service must not hang: the horizon was published
   // by Stop, so it reports OK immediately.
@@ -233,7 +233,7 @@ TEST(ServeTest, FullQueueShedsFeedbackInsteadOfBlocking) {
   }
   EXPECT_EQ(accepted, config.queue_capacity);
   EXPECT_EQ(shed, 8 - config.queue_capacity);
-  EXPECT_EQ(service.stats().feedback_dropped, shed);
+  EXPECT_EQ(service.stats().feedback_dropped(), shed);
   EXPECT_EQ(service.stats().feedback_dropped_full, shed);
 
   gate.Release();

@@ -31,6 +31,7 @@
 #include "clustering/clusterer.h"
 #include "clustering/doc.h"
 #include "clustering/mineclus.h"
+#include "core/rng.h"
 #include "core/status.h"
 #include "core/thread_pool.h"
 #include "data/csv.h"
@@ -39,10 +40,12 @@
 #include "eval/table.h"
 #include "histogram/census.h"
 #include "histogram/stholes.h"
+#include "histogram/trivial.h"
 #include "init/initializer.h"
 #include "obs/metrics.h"
 #include "serve/histogram_service.h"
 #include "testing/fault_injection.h"
+#include "workload/drift.h"
 
 namespace {
 
@@ -128,6 +131,14 @@ class Flags {
       "max-dims"
 #define STHIST_FAULT_FLAGS \
   "fault-rate", "fault-seed", "fault-noise", "fault-data"
+#define STHIST_DRIFT_FLAGS                                             \
+  "drift", "drift-phases", "drift-seed", "drift-tuples", "drift-span", \
+      "pace"
+#define STHIST_REINIT_FLAGS                                              \
+  "no-reinit", "reinit-window", "reinit-trigger", "reinit-rearm",        \
+      "reinit-cooldown", "reinit-backstop", "reinit-reservoir",          \
+      "reinit-buckets", "reinit-sync", "fault-reinit-rate",              \
+      "fault-reinit-seed"
 
 // ---------------------------------------------------------------------------
 // Dataset resolution: either a named generator or a CSV file.
@@ -512,6 +523,211 @@ Status RunInspect(const Flags& flags) {
   return Status::Ok();
 }
 
+// Drift-mode serving simulation (`serve-sim --drift <scenario>`): a
+// deterministic replay driver streams a DriftSchedule's phases through the
+// service (estimate, then feedback) while optional read-only probe threads
+// hammer the published snapshot, and — unless --no-reinit — the stagnation
+// detector + reservoir re-initialization recover from the drift online
+// (DESIGN.md §14). The driver Drains at phase boundaries and on queue-full,
+// so the run is replayable: same flags, same trigger/swap sequence.
+Status RunServeSimDrift(const Flags& flags) {
+  StatusOr<DriftScenario> scenario =
+      ParseDriftScenario(flags.Str("drift", "cross-move"));
+  if (!scenario.ok()) return scenario.status();
+
+  DriftConfig dc;
+  dc.scenario = *scenario;
+  dc.phases = flags.Size("drift-phases", 4);
+  dc.seed = static_cast<uint64_t>(flags.Num("drift-seed", 17));
+  dc.dim = flags.Size("dim", 2);
+  dc.tuples = flags.Size("drift-tuples", 22000);
+  dc.move_span = flags.Num("drift-span", 0.6);
+
+  const size_t total_queries = flags.Size("queries", 20000);
+  if (total_queries == 0) {
+    return Status::InvalidArgument("--queries must be > 0");
+  }
+  WorkloadConfig wc;
+  wc.num_queries =
+      std::max<size_t>(total_queries / std::max<size_t>(dc.phases, 1), 1);
+  wc.volume_fraction = flags.Num("volume", 0.01);
+
+  StatusOr<DriftSchedule> schedule = MakeDriftSchedule(dc, wc);
+  if (!schedule.ok()) return schedule.status();
+  PhasedOracle oracle(*schedule);
+  const Box& domain = schedule->domain();
+
+  // The service starts on a histogram trained for phase 0 (with --init, the
+  // paper's MineClus-seeded initialization over the phase-0 snapshot), so
+  // the drift — not a cold start — is what degrades it.
+  STHolesConfig hc;
+  hc.max_buckets = flags.Size("buckets", 100);
+  auto hist = std::make_unique<STHoles>(domain, oracle.Count(domain), hc);
+  if (flags.Has("init")) {
+    std::vector<SubspaceCluster> clusters = RunMineClus(
+        schedule->phase(0).data.data, domain, MineClusFromFlags(flags));
+    InitializeHistogram(clusters, domain, oracle, InitializerConfig{},
+                        hist.get());
+  }
+  WorkloadConfig train_wc = wc;
+  train_wc.num_queries = flags.Size("train", 200);
+  train_wc.centers = CenterDistribution::kData;
+  train_wc.seed = DeriveSeed(dc.seed, 0x7A);
+  StatusOr<Workload> train =
+      MakeWorkloadChecked(domain, train_wc, &schedule->phase(0).data.data);
+  if (!train.ok()) return train.status();
+  for (const Box& q : *train) hist->Refine(q, oracle);
+
+  ServiceConfig sc;
+  sc.queue_capacity = flags.Size("queue-cap", sc.queue_capacity);
+  sc.publish_batch = flags.Size("publish-batch", sc.publish_batch);
+  if (sc.queue_capacity == 0 || sc.publish_batch == 0) {
+    return Status::InvalidArgument(
+        "--queue-cap and --publish-batch must be > 0");
+  }
+  sc.metrics = obs::GlobalMetrics();
+  sc.faults = FaultsFromFlags(flags);
+
+  ReinitConfig& reinit = sc.reinit;
+  reinit.enabled = !flags.Has("no-reinit");
+  reinit.domain = domain;
+  reinit.detector.window = flags.Size("reinit-window", 128);
+  reinit.detector.trigger_nae =
+      flags.Num("reinit-trigger", reinit.detector.trigger_nae);
+  reinit.detector.rearm_nae =
+      flags.Num("reinit-rearm", reinit.detector.rearm_nae);
+  reinit.detector.cooldown = flags.Size("reinit-cooldown", 256);
+  reinit.detector.retrigger_backstop =
+      flags.Size("reinit-backstop", reinit.detector.retrigger_backstop);
+  reinit.reservoir.capacity =
+      flags.Size("reinit-reservoir", reinit.reservoir.capacity);
+  reinit.mineclus = MineClusFromFlags(flags);
+  reinit.max_buckets = flags.Size("reinit-buckets", hc.max_buckets);
+  reinit.background = !flags.Has("reinit-sync");
+  reinit.rebuild_faults.rate = flags.Num("fault-reinit-rate", 0.0);
+  reinit.rebuild_faults.seed =
+      static_cast<uint64_t>(flags.Num("fault-reinit-seed", 99));
+  if (reinit.enabled) {
+    // Validate before construction: the service CHECK-aborts on bad knobs,
+    // the CLI reports them.
+    STHIST_RETURN_IF_ERROR(Validate(reinit.detector));
+    STHIST_RETURN_IF_ERROR(Validate(reinit.reservoir));
+  }
+  HistogramService service(std::move(hist), oracle, sc);
+
+  // Read-only probe threads: they measure that the snapshot stays servable
+  // through rebuilds but never submit feedback, so they cannot perturb the
+  // deterministic replay below.
+  const size_t readers = flags.Size("readers", 2);
+  std::atomic<bool> probes_stop{false};
+  std::vector<std::thread> probes;
+  probes.reserve(readers);
+  std::atomic<double> sink{0.0};
+  for (size_t r = 0; r < readers; ++r) {
+    probes.emplace_back([&, r] {
+      const Workload& queries = schedule->phase(0).queries;
+      double local = 0.0;
+      for (size_t i = 0; !probes_stop.load(std::memory_order_relaxed); ++i) {
+        local += service.Estimate(queries[(r * 31 + i) % queries.size()]);
+      }
+      sink.fetch_add(local);
+    });
+  }
+
+  // The replay driver: one thread, FIFO feedback, Drain at every phase
+  // boundary (the oracle must not change phase under queued feedback) and
+  // on backpressure.
+  // Pacing: Drain every `pace` submissions. A free-running driver outraces
+  // the refiner by a whole queue, so every served estimate in a phase would
+  // come from the previous phase's histogram no matter how well re-init
+  // works; draining at a bounded cadence emulates a production arrival rate
+  // the refiner can keep up with, without giving up replayability.
+  const size_t pace = std::max<size_t>(flags.Size("pace", sc.publish_batch),
+                                       1);
+  struct PhaseRow {
+    double mae = 0.0;
+    double trivial_mae = 0.0;
+    size_t queries = 0;
+    size_t triggers = 0;
+    size_t swaps = 0;
+    double rolling_nae = 0.0;
+  };
+  std::vector<PhaseRow> rows(schedule->phase_count());
+  auto t0 = std::chrono::steady_clock::now();
+  size_t since_drain = 0;
+  for (size_t p = 0; p < schedule->phase_count(); ++p) {
+    oracle.SetPhase(p);
+    TrivialHistogram trivial(domain, oracle.Count(domain));
+    PhaseRow& row = rows[p];
+    for (const Box& q : schedule->phase(p).queries) {
+      const double est = service.Estimate(q);
+      const double actual = oracle.Count(q);
+      row.mae += std::abs(est - actual);
+      row.trivial_mae += std::abs(trivial.Estimate(q) - actual);
+      ++row.queries;
+      if (service.SubmitFeedback(q, est) == FeedbackOutcome::kQueueFull) {
+        STHIST_RETURN_IF_ERROR(service.Drain());
+        (void)service.SubmitFeedback(q, est);
+      }
+      if (++since_drain >= pace) {
+        since_drain = 0;
+        STHIST_RETURN_IF_ERROR(service.Drain());
+      }
+    }
+    STHIST_RETURN_IF_ERROR(service.Drain());
+    ServiceStats at_phase_end = service.stats();
+    row.triggers = at_phase_end.reinit_triggers;
+    row.swaps = at_phase_end.reinit_swaps_completed;
+    row.rolling_nae = at_phase_end.rolling_nae;
+  }
+  double drive_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  probes_stop.store(true);
+  for (std::thread& t : probes) t.join();
+  service.Stop();
+
+  std::printf("drift scenario: %s (%zu phases, %zu queries/phase)\n",
+              DriftScenarioName(schedule->scenario()),
+              schedule->phase_count(), wc.num_queries);
+  TablePrinter phases({"phase", "queries", "MAE", "NAE", "NAE(roll)",
+                       "triggers", "swaps"});
+  for (size_t p = 0; p < rows.size(); ++p) {
+    const PhaseRow& row = rows[p];
+    const double n = static_cast<double>(std::max<size_t>(row.queries, 1));
+    const double nae =
+        row.trivial_mae > 0.0 ? row.mae / row.trivial_mae : 0.0;
+    phases.AddRow({FormatSize(p), FormatSize(row.queries),
+                   FormatDouble(row.mae / n, 1), FormatDouble(nae, 4),
+                   FormatDouble(row.rolling_nae, 4), FormatSize(row.triggers),
+                   FormatSize(row.swaps)});
+  }
+  phases.Print();
+
+  ServiceStats stats = service.stats();
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"probe readers", FormatSize(readers)});
+  table.AddRow({"reads served", FormatSize(stats.reads_served)});
+  table.AddRow({"feedback accepted", FormatSize(stats.feedback_accepted)});
+  table.AddRow({"feedback dropped", FormatSize(stats.feedback_dropped())});
+  table.AddRow({"feedback applied", FormatSize(stats.feedback_applied)});
+  table.AddRow({"snapshot epoch", FormatSize(stats.snapshot_epoch)});
+  table.AddRow({"reinit triggers", FormatSize(stats.reinit_triggers)});
+  table.AddRow({"swaps completed", FormatSize(stats.reinit_swaps_completed)});
+  table.AddRow({"swaps aborted", FormatSize(stats.reinit_swaps_aborted)});
+  table.AddRow({"replayed feedback", FormatSize(stats.reinit_replayed)});
+  table.AddRow({"reservoir size", FormatSize(stats.reservoir_size)});
+  table.AddRow({"rolling NAE", FormatDouble(stats.rolling_nae, 4)});
+  table.AddRow({"drive s", FormatDouble(drive_seconds, 2)});
+  table.Print();
+
+  const Histogram& snapshot = *service.snapshot();
+  std::printf("final snapshot: %zu buckets, robustness events %zu\n",
+              snapshot.bucket_count(), snapshot.robustness().total());
+  std::printf("--- metrics ---\n%s", obs::GlobalMetrics()->ToText().c_str());
+  return Status::Ok();
+}
+
 // Simulates production serving: R reader threads issue estimates against
 // the published snapshot while every executed query's feedback streams back
 // through the service's bounded queue into the single refiner. Prints the
@@ -519,8 +735,10 @@ Status RunInspect(const Flags& flags) {
 Status RunServeSim(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
       {STHIST_COMMON_FLAGS, STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS,
+       STHIST_FAULT_FLAGS, STHIST_DRIFT_FLAGS, STHIST_REINIT_FLAGS,
        "buckets", "train", "queries", "readers", "volume", "init",
        "queue-cap", "publish-batch", "batch"}));
+  if (flags.Has("drift")) return RunServeSimDrift(flags);
   StatusOr<GeneratedData> g = ResolveDataset(flags);
   if (!g.ok()) return g.status();
   Experiment experiment(*std::move(g));
@@ -561,6 +779,10 @@ Status RunServeSim(const Flags& flags) {
     return Status::InvalidArgument(
         "--queue-cap and --publish-batch must be > 0");
   }
+  // --fault-* applies to the serving loop too: the refiner's oracle answers
+  // (detector observations and Refine feedback counts) flow through a
+  // deterministic FaultyOracle. Readers never consult the oracle.
+  sc.faults = FaultsFromFlags(flags);
   // The service's serve.service.* counters land in the same process-wide
   // registry as everything else, so the final /metrics dump is one document.
   sc.metrics = obs::GlobalMetrics();
@@ -612,7 +834,7 @@ Status RunServeSim(const Flags& flags) {
                                    read_seconds,
                                0)});
   table.AddRow({"feedback accepted", FormatSize(stats.feedback_accepted)});
-  table.AddRow({"feedback dropped", FormatSize(stats.feedback_dropped)});
+  table.AddRow({"feedback dropped", FormatSize(stats.feedback_dropped())});
   table.AddRow({"feedback applied", FormatSize(stats.feedback_applied)});
   table.AddRow({"snapshot epoch", FormatSize(stats.snapshot_epoch)});
   table.AddRow({"final staleness", FormatSize(stats.staleness)});
@@ -672,7 +894,18 @@ void PrintUsage() {
       "              their feedback; ends with a /metrics-style dump\n"
       "              --readers N --queries N --buckets N --train N [--init]\n"
       "              --queue-cap N --publish-batch N [--batch [N]]\n"
-      "              + cluster flags\n"
+      "              + cluster flags; --fault-rate R injects faults into\n"
+      "              the refiner's oracle answers\n"
+      "              drift mode: --drift cross-move|churn|hotspot|adversarial\n"
+      "              --drift-phases N --drift-seed S --drift-tuples N\n"
+      "              --drift-span F --dim D; stagnation re-init is on by\n"
+      "              default (--no-reinit disables): --reinit-window N\n"
+      "              --reinit-trigger F --reinit-rearm F --reinit-cooldown N\n"
+      "              --reinit-backstop N --reinit-reservoir N\n"
+      "              --reinit-buckets N [--reinit-sync]\n"
+      "              --fault-reinit-rate R --fault-reinit-seed S inject\n"
+      "              faults into the rebuild path (aborted swaps keep the\n"
+      "              incumbent serving)\n"
       "\n"
       "every command accepts --metrics-json <path>: export the run's\n"
       "metrics registry (counters, gauges, latency histograms) as JSON\n"
