@@ -47,6 +47,11 @@ class Box {
   /// Side length in dimension d.
   double Extent(size_t d) const { return hi_[d] - lo_[d]; }
 
+  /// Contiguous per-dimension bounds, for kernels that consume raw planes
+  /// (core/simd.h). Valid while the box is alive and unmodified.
+  const double* lo_data() const { return lo_.data(); }
+  const double* hi_data() const { return hi_.data(); }
+
   /// Product of all side lengths. A degenerate box has volume 0.
   double Volume() const;
 

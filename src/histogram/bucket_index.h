@@ -8,13 +8,16 @@
 
 #include "core/box.h"
 #include "core/check.h"
-#include "index/rtree.h"
+#include "index/flat_index.h"
 
 namespace sthist {
 
 /// \file
-/// Adapter between a bucket-tree histogram (STHoles, ISOMER) and the spatial
-/// RTree, plus the indexed replay of their shared estimation recursion.
+/// Adapter between a bucket-tree histogram (STHoles, ISOMER) and the flat
+/// SoA spatial index, plus the indexed replay of their shared estimation
+/// recursion. The probe layer is FlatBoxIndex (DESIGN.md §15); the
+/// maintenance rules below are unchanged from the pointer-based R-tree it
+/// replaced (§10).
 ///
 /// The bitwise-equivalence contract (DESIGN.md §10) rests on one IEEE-754
 /// identity: for the non-negative terms these estimators produce, adding or
@@ -62,6 +65,10 @@ class BucketGroups {
   friend class BucketTreeIndex;
 
   std::vector<BucketChildRef<BucketT>> hits_;
+  // Probe scratch, reused across calls so a steady-state probe through a
+  // long-lived BucketGroups (the estimators hold one per thread) never
+  // allocates.
+  std::vector<uint64_t> scratch_ids_;
 };
 
 /// Spatial index over every non-root bucket of one histogram's bucket tree.
@@ -85,7 +92,7 @@ class BucketTreeIndex {
   /// bucket's cached region volume. O(n log n) in the bucket count.
   void Rebuild(BucketT* root) {
     refs_.clear();
-    std::vector<RTree::Entry> entries;
+    std::vector<FlatBoxIndex::Entry> entries;
     std::vector<BucketT*> pending = {root};
     while (!pending.empty()) {
       BucketT* bucket = pending.back();
@@ -117,11 +124,17 @@ class BucketTreeIndex {
 
   /// Fills `out` with the buckets open-intersecting `query`, grouped for
   /// BucketGroups::Of. Thread-safe against concurrent Probe calls. Returns
-  /// the number of R-tree nodes visited (the probe's work, for metrics).
-  size_t Probe(const Box& query, BucketGroups<BucketT>* out) const {
+  /// the probe's work (flat-index nodes and entry blocks, for metrics).
+  /// Allocation-free once `out`'s buffers have reached steady-state
+  /// capacity — the hot read path reuses the scratch inside BucketGroups
+  /// instead of allocating per query.
+  FlatBoxIndex::ProbeStats Probe(const Box& query,
+                                 BucketGroups<BucketT>* out) const {
     out->hits_.clear();
-    std::vector<uint64_t> ids;
-    const size_t visited = tree_.Probe(query, BoxOverlap::kOpenInterior, &ids);
+    std::vector<uint64_t>& ids = out->scratch_ids_;
+    ids.clear();
+    const FlatBoxIndex::ProbeStats stats =
+        tree_.Probe(query, BoxOverlap::kOpenInterior, &ids);
     out->hits_.reserve(ids.size());
     for (uint64_t id : ids) out->hits_.push_back(refs_[id]);
     std::sort(out->hits_.begin(), out->hits_.end(),
@@ -132,7 +145,7 @@ class BucketTreeIndex {
                 }
                 return a.slot < b.slot;
               });
-    return visited;
+    return stats;
   }
 
   size_t size() const { return tree_.size(); }
@@ -148,7 +161,7 @@ class BucketTreeIndex {
     bucket->cached_region = std::max(volume, 0.0);
   }
 
-  RTree tree_;
+  FlatBoxIndex tree_;
   // Entry id -> (parent, slot); rebuilt with the tree, appended by
   // AppendChild. Holds raw parent pointers, so any structural change that
   // moves buckets must invalidate the index before the next probe.

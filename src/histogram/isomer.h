@@ -122,6 +122,10 @@ class IsomerHistogram : public Histogram {
     obs::Counter index_invalidations;
     obs::Counter index_probes;
     obs::Counter index_node_visits;
+    // Flat-index probe work (DESIGN.md §15); see STHoles::Metrics.
+    obs::Counter flat_probes;
+    obs::Counter flat_entry_blocks;
+    obs::Gauge flat_simd_level;
     obs::TraceRing* ring = nullptr;
   };
 

@@ -95,7 +95,7 @@ MHistHistogram::MHistHistogram(const Dataset& data, const Box& domain,
         {bucket.box, static_cast<double>(bucket.rows.size())});
   }
 
-  std::vector<RTree::Entry> entries;
+  std::vector<FlatBoxIndex::Entry> entries;
   entries.reserve(buckets_.size());
   for (size_t i = 0; i < buckets_.size(); ++i) {
     entries.push_back({buckets_[i].box, i});
@@ -110,7 +110,10 @@ double MHistHistogram::Estimate(const Box& query) const {
   // volume) or no term (degenerate, not contained) in the linear scan, and
   // sorting restores bucket order, so the sum below is bitwise-identical to
   // EstimateLinear.
-  std::vector<uint64_t> hits;
+  // Thread-local scratch so concurrent EstimateBatch readers never share a
+  // buffer and the steady-state probe never allocates.
+  static thread_local std::vector<uint64_t> hits;
+  hits.clear();
   index_.Probe(query, BoxOverlap::kClosed, &hits);
   std::sort(hits.begin(), hits.end());
   double estimate = 0.0;

@@ -5,7 +5,7 @@
 
 #include "data/dataset.h"
 #include "histogram/histogram.h"
-#include "index/rtree.h"
+#include "index/flat_index.h"
 
 namespace sthist {
 
@@ -34,10 +34,11 @@ class MHistHistogram : public Histogram {
   MHistHistogram(const Dataset& data, const Box& domain,
                  const MHistConfig& config);
 
-  /// Served through a bucket R-tree built at construction (closed-overlap
-  /// probes, so degenerate buckets swallowed by the query still count);
-  /// bitwise-identical to EstimateLinear — skipped buckets contribute an
-  /// exact 0.0 to the linear sum, and hits are visited in bucket order.
+  /// Served through a flat SoA bucket index built at construction
+  /// (closed-overlap probes, so degenerate buckets swallowed by the query
+  /// still count); bitwise-identical to EstimateLinear — skipped buckets
+  /// contribute an exact 0.0 to the linear sum, and hits are visited in
+  /// bucket order.
   double Estimate(const Box& query) const override;
 
   /// The original flat bucket scan, retained as the differential-test
@@ -73,7 +74,7 @@ class MHistHistogram : public Histogram {
   std::vector<BucketInfo> buckets_;
   /// Spatial index over buckets_ (entry id = bucket position). Built once at
   /// construction; the histogram is static, so it never goes stale.
-  RTree index_;
+  FlatBoxIndex index_;
 };
 
 }  // namespace sthist

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "core/check.h"
+#include "core/simd.h"
 #include "histogram/bucket_index.h"
 #include "histogram/robustness.h"
 #include "obs/trace.h"
@@ -82,6 +83,10 @@ STHoles::STHoles(const Box& domain, double total_tuples,
   metrics_.index_invalidations = reg->counter("index.bucket_tree.invalidations");
   metrics_.index_probes = reg->counter("index.bucket_tree.probes");
   metrics_.index_node_visits = reg->counter("index.bucket_tree.node_visits");
+  metrics_.flat_probes = reg->counter("index.flat.probes");
+  metrics_.flat_entry_blocks = reg->counter("index.flat.entry_blocks");
+  metrics_.flat_simd_level = reg->gauge("index.flat.simd_level");
+  metrics_.flat_simd_level.Set(static_cast<double>(simd::ActiveLevel()));
   metrics_.ring = reg->ring();
 }
 
@@ -131,9 +136,15 @@ double STHoles::Estimate(const Box& query) const {
     if (repeats < kIndexBuildAfter) return EstimateNode(*root_, query);
     EnsureIndex();
   }
-  BucketGroups<Bucket> groups;
+  // Thread-local scratch: probe buffers reach steady-state capacity after a
+  // few queries and the hottest read path in the system stops allocating
+  // (asserted by tests/flat_index_test.cc via an operator-new hook).
+  static thread_local BucketGroups<Bucket> groups;
+  const FlatBoxIndex::ProbeStats stats = index_->index.Probe(query, &groups);
   metrics_.index_probes.Inc();
-  metrics_.index_node_visits.Inc(index_->index.Probe(query, &groups));
+  metrics_.index_node_visits.Inc(stats.node_visits);
+  metrics_.flat_probes.Inc();
+  metrics_.flat_entry_blocks.Inc(stats.entry_blocks);
   return EstimateIndexed(*root_, query, groups, MinVolume());
 }
 

@@ -150,6 +150,12 @@ class STHoles : public Histogram {
     obs::Counter index_invalidations;
     obs::Counter index_probes;
     obs::Counter index_node_visits;
+    // Flat-index probe work (DESIGN.md §15): probes served through the SoA
+    // path, SIMD-width entry blocks tested, and the dispatched kernel level
+    // (0 scalar, 1 AVX2, 2 NEON) as a gauge.
+    obs::Counter flat_probes;
+    obs::Counter flat_entry_blocks;
+    obs::Gauge flat_simd_level;
     obs::TraceRing* ring = nullptr;
   };
 

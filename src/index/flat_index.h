@@ -1,0 +1,138 @@
+#ifndef STHIST_INDEX_FLAT_INDEX_H_
+#define STHIST_INDEX_FLAT_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/box.h"
+#include "index/rtree.h"  // BoxOverlap
+
+namespace sthist {
+
+/// Flattened, cache-friendly spatial index over (box, id) entries — the
+/// structure-of-arrays replacement for the pointer-based RTree on the
+/// estimation hot path (DESIGN.md §15).
+///
+/// Layout. Entry bounds live in contiguous per-dimension planes
+/// (`lo[d * stride + slot]`), so a probe touches long runs of doubles
+/// instead of chasing per-entry `Box` heap vectors, and box-intersection
+/// tests vectorize over 4 (AVX2) or 2 (NEON) entries at a time through
+/// core/simd.h. The tree over those entries is a balanced binary partition
+/// (median split of entry centers along the widest-spread dimension — the
+/// same partitioning RTree::Bulk uses) linearized breadth-first into flat
+/// node arrays: node bounds in their own contiguous planes, children
+/// addressed by index with the right child always at `left + 1`. Leaves own
+/// fixed runs of slots padded to the SIMD block width with never-matching
+/// sentinel bounds (`lo = +inf, hi = -inf`), so the kernel always runs full
+/// blocks.
+///
+/// Maintenance. `Bulk` rebuilds from scratch; `Insert` appends to a small
+/// overflow tail (scanned contiguously on every probe) and folds the whole
+/// index into a fresh bulk build once the tail outgrows its budget — the
+/// incremental path a pure-drill append takes, mirroring RTree::Insert's
+/// role in the §10 maintenance table.
+///
+/// Probes are const, allocation-free once `out`'s capacity is warm
+/// (fixed-size traversal stack, fixed per-leaf hit buffer), and safe to run
+/// concurrently; Bulk/Insert require exclusive access. Like RTree, probes
+/// append matching ids in unspecified order without deduplication.
+class FlatBoxIndex {
+ public:
+  /// One indexed element. All boxes in one index share a dimensionality.
+  struct Entry {
+    Box box;
+    uint64_t id = 0;
+  };
+
+  /// Work done by one probe, for the index.flat.* metrics (DESIGN.md §13).
+  struct ProbeStats {
+    /// Tree nodes touched (including pruned ones), plus one for the
+    /// overflow tail when it was scanned. Comparable to RTree::Probe's
+    /// return value.
+    uint32_t node_visits = 0;
+    /// SIMD-width entry blocks run through the intersection kernel.
+    uint32_t entry_blocks = 0;
+  };
+
+  FlatBoxIndex() = default;
+
+  /// Discards all entries and nodes.
+  void Clear();
+
+  /// Replaces the contents with `entries`. O(n log n).
+  void Bulk(std::vector<Entry> entries);
+
+  /// Appends one entry to the overflow tail; compacts (full rebuild) when
+  /// the tail outgrows max(32, size/16) entries.
+  void Insert(const Box& box, uint64_t id);
+
+  /// Appends the ids of every entry whose box overlaps `query` under `mode`
+  /// to `out` (not cleared first). Order unspecified.
+  ProbeStats Probe(const Box& query, BoxOverlap mode,
+                   std::vector<uint64_t>* out) const;
+
+  /// Number of entries held (tree + overflow tail).
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Entries currently in the unindexed overflow tail.
+  size_t overflow_size() const { return ov_ids_.size(); }
+
+  /// Overflow folds performed since construction (survives Clear is NOT
+  /// guaranteed — Clear resets it like everything else).
+  uint64_t compactions() const { return compactions_; }
+
+ private:
+  // Leaf fan-out before padding. Larger than RTree's 8: the vectorized leaf
+  // scan makes wide leaves cheap, and fewer nodes mean fewer prune tests.
+  static constexpr uint32_t kLeafCapacity = 16;
+  // Slots per SIMD block; leaves are padded to a multiple of this.
+  static constexpr uint32_t kBlock = 4;
+  // Id marking a padded (sentinel) slot; never emitted.
+  static constexpr uint64_t kPadId = ~uint64_t{0};
+  // Traversal stack bound: the bulk build median-splits exactly in half, so
+  // depth <= ceil(log2(n / kLeafCapacity)) + 1 and a DFS stack holds at
+  // most depth + 1 nodes. 64 covers any entry count an uint32 slot space
+  // can address, with margin.
+  static constexpr int kMaxStack = 64;
+
+  struct Node {
+    int32_t left = -1;   // Internal: left child id, right child = left + 1.
+    uint32_t first = 0;  // Leaf: first slot of its padded run.
+    uint32_t count = 0;  // Leaf: padded slot count (multiple of kBlock).
+
+    bool leaf() const { return left < 0; }
+  };
+
+  // Builds nodes_/planes from `entries` (consumed; reordered in place).
+  void Build(std::vector<Entry>* entries);
+  // Reconstructs every live entry (tree slots minus padding, plus the
+  // overflow tail) for a compaction rebuild.
+  std::vector<Entry> CollectEntries() const;
+  // Folds the overflow tail into a fresh bulk build.
+  void Compact();
+
+  size_t dim_ = 0;
+  size_t size_ = 0;
+
+  // --- Bulk-built tree ---
+  size_t stride_ = 0;            // Padded slot count per plane.
+  std::vector<double> lo_, hi_;  // Entry bound planes, [d * stride_ + slot].
+  std::vector<uint64_t> ids_;    // slot -> entry id; kPadId on padding.
+  std::vector<Node> nodes_;      // BFS order; nodes_[0] is the root.
+  std::vector<double> node_lo_, node_hi_;  // Node bounds, [node * dim_ + d].
+
+  // --- Overflow tail (since the last build) ---
+  // Entry-major bounds: entry i occupies [i * 2 * dim_, (i + 1) * 2 * dim_),
+  // lo first then hi. Contiguous, so the scan stays cache-friendly even
+  // though it is scalar.
+  std::vector<double> ov_bounds_;
+  std::vector<uint64_t> ov_ids_;
+
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_INDEX_FLAT_INDEX_H_

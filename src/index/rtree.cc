@@ -56,6 +56,22 @@ double RTree::Enlargement(const Box& bounds, const Box& box) {
   return grown.Volume() - bounds.Volume();
 }
 
+double RTree::MarginEnlargement(const Box& bounds, const Box& box) {
+  double growth = 0.0;
+  for (size_t d = 0; d < bounds.dim(); ++d) {
+    const double lo = std::min(bounds.lo(d), box.lo(d));
+    const double hi = std::max(bounds.hi(d), box.hi(d));
+    growth += (hi - lo) - bounds.Extent(d);
+  }
+  return growth;
+}
+
+double RTree::Margin(const Box& bounds) {
+  double margin = 0.0;
+  for (size_t d = 0; d < bounds.dim(); ++d) margin += bounds.Extent(d);
+  return margin;
+}
+
 int32_t RTree::BuildNode(Entry* begin, Entry* end) {
   // nodes_ may reallocate during the recursive calls below, so never hold a
   // Node reference across them — address nodes_[id] afresh each time.
@@ -140,10 +156,25 @@ void RTree::Insert(const Box& box, uint64_t id) {
     } else if (grow_right < grow_left) {
       at = right;
     } else {
-      // Tie: prefer the smaller subtree box (classic Guttman tiebreak).
-      at = nodes_[left].bounds.Volume() <= nodes_[right].bounds.Volume()
-               ? left
-               : right;
+      // Volume tie. Above ~15 dimensions box volumes underflow toward 0.0,
+      // so volume growth ties on *every* descent and the walk degrades to
+      // an arbitrary-side chain of badly overlapping leaves. Margin
+      // (summed extent) growth is a sum, not a product — it stays finite
+      // and discriminating in any dimensionality — so break the tie on it,
+      // then fall back to the smaller box (Guttman's tiebreak, but on
+      // margin, which cannot underflow).
+      const double margin_left = MarginEnlargement(nodes_[left].bounds, box);
+      const double margin_right =
+          MarginEnlargement(nodes_[right].bounds, box);
+      if (margin_left < margin_right) {
+        at = left;
+      } else if (margin_right < margin_left) {
+        at = right;
+      } else {
+        at = Margin(nodes_[left].bounds) <= Margin(nodes_[right].bounds)
+                 ? left
+                 : right;
+      }
     }
   }
   nodes_[at].entries.push_back({box, id});

@@ -94,6 +94,13 @@ class RTree {
   static bool ClosedOverlap(const Box& a, const Box& b);
   // Volume growth of `bounds` if extended to contain `box`.
   static double Enlargement(const Box& bounds, const Box& box);
+  // Margin (summed per-dimension extent) growth of `bounds` if extended to
+  // contain `box` — the volume-underflow-proof tiebreak for Insert's
+  // descent in high dimensions, where products of small extents collapse
+  // to 0.0 and volume growth ties on every node.
+  static double MarginEnlargement(const Box& bounds, const Box& box);
+  // Summed per-dimension extent of `bounds`.
+  static double Margin(const Box& bounds);
 
   std::vector<Node> nodes_;
   int32_t root_ = -1;

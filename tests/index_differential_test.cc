@@ -16,6 +16,7 @@
 
 #include "core/box.h"
 #include "core/rng.h"
+#include "core/simd.h"
 #include "data/generators.h"
 #include "histogram/histogram.h"
 #include "histogram/isomer.h"
@@ -120,7 +121,7 @@ TEST_P(STHolesDifferentialTest, IndexedMatchesLinearAcrossHistory) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, STHolesDifferentialTest,
-    ::testing::Combine(::testing::Values<size_t>(2, 3, 5),
+    ::testing::Combine(::testing::Values<size_t>(2, 3, 5, 8),
                        ::testing::Values<uint64_t>(21, 77),
                        ::testing::Values<size_t>(12, 500)),
     [](const auto& info) {
@@ -128,6 +129,41 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param)) + "_budget" +
              std::to_string(std::get<2>(info.param));
     });
+
+// The §10 contract must hold regardless of which box-matching kernel the
+// probe dispatches to (DESIGN.md §15): under the forced-scalar kernel, the
+// indexed paths still reproduce the linear reference bit for bit, and agree
+// with the natively dispatched result. The CI scalar-fallback leg
+// (-DSTHIST_NO_SIMD) re-runs the whole suite with the vector kernels
+// compiled out; this test covers the runtime-dispatch seam in SIMD builds.
+TEST(STHolesDifferentialTest, ScalarKernelPreservesIdentity) {
+  GeneratedData g = MakeCrossData(3, 33);
+  Executor executor(g.data);
+
+  STHolesConfig config;
+  config.max_buckets = 40;
+  STHoles h(g.domain, static_cast<double>(g.data.size()), config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 80;
+  wc.seed = 35;
+  for (const Box& q : MakeWorkload(g.domain, wc)) h.Refine(q, executor);
+
+  Workload probes = MakeProbes(g.domain, 37);
+  std::vector<double> native;
+  native.reserve(probes.size());
+  for (const Box& q : probes) native.push_back(h.Estimate(q));
+
+  simd::ForceScalarForTest(true);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_TRUE(BitEqual(h.Estimate(probes[i]), h.EstimateLinear(probes[i])))
+        << "scalar kernel vs linear, probe " << probes[i].ToString();
+    EXPECT_TRUE(BitEqual(h.Estimate(probes[i]), native[i]))
+        << "scalar kernel vs dispatched, probe " << probes[i].ToString();
+  }
+  ExpectAllPathsBitEqual(h, probes);
+  simd::ForceScalarForTest(false);
+}
 
 TEST(STHolesDifferentialTest, SerializationRoundTripPreservesIdentity) {
   GeneratedData g = MakeCrossData(3, 5);
@@ -148,11 +184,18 @@ TEST(STHolesDifferentialTest, SerializationRoundTripPreservesIdentity) {
 
   Workload probes = MakeProbes(g.domain, 13);
   // The reconstructed histogram estimates bit-exactly like the original,
-  // and its freshly built index matches its own linear scan.
+  // and its freshly built index matches its own linear scan — under the
+  // dispatched kernel and the forced-scalar one alike.
   for (const Box& q : probes) {
     EXPECT_TRUE(BitEqual(loaded->Estimate(q), h.Estimate(q))) << q.ToString();
   }
   ExpectAllPathsBitEqual(*loaded, probes);
+  simd::ForceScalarForTest(true);
+  for (const Box& q : probes) {
+    EXPECT_TRUE(BitEqual(loaded->Estimate(q), h.EstimateLinear(q)))
+        << "scalar kernel, probe " << q.ToString();
+  }
+  simd::ForceScalarForTest(false);
 }
 
 // ---------------------------------------------------------------------------
@@ -235,7 +278,7 @@ TEST(IsomerDifferentialTest, ConstEstimationDoesNotPerturbLearning) {
 // MHist
 
 TEST(MHistDifferentialTest, IndexedMatchesLinear) {
-  for (size_t dim : {2, 3}) {
+  for (size_t dim : {2, 3, 5, 8}) {
     SCOPED_TRACE(dim);
     GeneratedData g = MakeCrossData(dim, 15);
     MHistConfig config;

@@ -189,6 +189,46 @@ TEST(RTreeTest, ClearResetsToEmpty) {
   EXPECT_EQ(out, std::vector<uint64_t>{9});
 }
 
+// Regression for the high-dimensional insert degeneracy: with 16 dimensions
+// and near-zero extents, every box volume (and every volume *enlargement*)
+// underflows to exactly 0.0, so the volume-guided descent tied on every node
+// and dumped all inserts down one arbitrary side — leaves ended up covering
+// wildly overlapping regions and probes degraded toward full scans. The
+// margin (summed extent) tiebreak keeps the descent discriminating, so a
+// point probe visits O(depth) nodes, not O(nodes).
+TEST(RTreeTest, HighDimUnderflowInsertsStayDiscriminating) {
+  constexpr size_t kDim = 16;
+  constexpr size_t kCount = 512;
+  // Points spread along dimension 0, identical elsewhere: every enclosing
+  // box has zero extent in dimensions 1..15, so every volume involved in
+  // the descent is exactly 0.0 and only the margin can route.
+  std::vector<RTree::Entry> entries;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    Box box = Box::Cube(kDim, 0.5, 0.5);
+    box.set_lo(0, static_cast<double>(i) * 100.0);
+    box.set_hi(0, static_cast<double>(i) * 100.0);
+    entries.push_back({box, i});
+  }
+  // Shuffled insert order so the test exercises the descent, not just the
+  // append-at-the-end pattern.
+  Rng rng(61);
+  rng.Shuffle(&entries);
+  RTree tree;
+  for (const RTree::Entry& e : entries) tree.Insert(e.box, e.id);
+
+  size_t max_visited = 0;
+  for (const RTree::Entry& e : entries) {
+    std::vector<uint64_t> out;
+    const size_t visited = tree.Probe(e.box, BoxOverlap::kClosed, &out);
+    max_visited = std::max(max_visited, visited);
+    EXPECT_EQ(out, std::vector<uint64_t>{e.id}) << "entry " << e.id;
+  }
+  // A discriminating tree resolves a point probe in a few root-to-leaf
+  // paths; the degenerate pre-fix tree visited hundreds of nodes (roughly
+  // the whole tree) for the same probes.
+  EXPECT_LE(max_visited, 40u);
+}
+
 TEST(RTreeTest, DuplicateBoxesAllReported) {
   RTree tree;
   Box box = Box::Cube(2, 1.0, 2.0);
