@@ -151,7 +151,12 @@ void HistogramService::RefinerLoop() {
       // Timed pop: keep refining the incumbent while the builder works, but
       // wake often enough to swap a finished rebuild in promptly.
       n = queue_.PopBatchFor(&batch, config_.publish_batch, kRebuildPoll);
-      if (rebuild_ready_.load(std::memory_order_acquire)) CompleteSwap();
+      if (rebuild_ready_.load(std::memory_order_acquire)) {
+        // Publish a landed swap right here: with an idle queue the batch
+        // publish below never runs, and readers would otherwise keep the
+        // pre-swap snapshot until the next feedback arrives.
+        if (CompleteSwap() && n == 0) Publish();
+      }
       if (n == 0) {
         if (queue_.closed() && queue_.size() == 0) break;
         continue;
@@ -295,7 +300,7 @@ void HistogramService::RunRebuild() {
           .count());
 }
 
-void HistogramService::CompleteSwap() {
+bool HistogramService::CompleteSwap() {
   if (builder_.joinable()) builder_.join();
   rebuild_inflight_ = false;
   rebuild_ready_.store(false, std::memory_order_release);
@@ -305,7 +310,7 @@ void HistogramService::CompleteSwap() {
     // serving, the detector's cooldown/backstop decides when to try again.
     reinit_swaps_aborted_.Inc();
     replay_.clear();
-    return;
+    return false;
   }
   // Replay the rebuild window so the swap does not forget the feedback that
   // arrived while the builder worked, then make the rebuilt histogram the
@@ -318,6 +323,7 @@ void HistogramService::CompleteSwap() {
   working_ = std::move(rebuilt_);
   detector_->NoteSwap();
   reinit_swaps_completed_.Inc();
+  return true;
 }
 
 void HistogramService::Publish() {

@@ -304,8 +304,10 @@ class HistogramService {
   void RunRebuild();
   /// Joins the builder, replays the rebuild-window feedback, and swaps the
   /// rebuilt histogram in as the working copy (or aborts to the incumbent).
-  /// Refiner thread only.
-  void CompleteSwap();
+  /// Returns whether a swap actually landed, so the caller publishes the
+  /// rebuilt histogram immediately — an idle queue must not leave readers on
+  /// the pre-swap snapshot indefinitely. Refiner thread only.
+  bool CompleteSwap();
 
   const ServiceConfig config_;
   const CardinalityOracle& oracle_;

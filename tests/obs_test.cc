@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstdint>
@@ -25,6 +26,7 @@
 #include "histogram/stholes.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/service_fleet.h"
 #include "workload/query.h"
 #include "workload/workload.h"
 
@@ -427,6 +429,112 @@ TEST(MetricsDifferentialTest, BatchMatchesSerialOnInstrumentedHistogram) {
     EXPECT_EQ(std::bit_cast<uint64_t>(serial[i]),
               std::bit_cast<uint64_t>(threaded[i]));
   }
+}
+
+// ---------------------------------------------------------------------------
+// ServiceFleet naming/cardinality: serve.fleet.* follows the §13 rules and
+// the per-shard label cap bounds the metric count however many tenants live.
+// ---------------------------------------------------------------------------
+
+TEST(FleetMetricsTest, NamesFollowLayerComponentNameScheme) {
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 200;
+  data_config.noise_tuples = 40;
+  GeneratedData g = MakeCross(data_config);
+  Executor executor(g.data);
+
+  MetricsRegistry registry;
+  FleetConfig config;
+  config.refiners = 1;
+  config.top_k_shard_labels = 3;
+  config.metrics = &registry;
+  ServiceFleet fleet(config);
+
+  STHolesConfig hc;
+  hc.max_buckets = 8;
+  ASSERT_TRUE(fleet
+                  .AddTenant("weird key/with:chars",
+                             std::make_unique<STHoles>(
+                                 g.domain, static_cast<double>(g.data.size()),
+                                 hc),
+                             executor)
+                  .ok());
+  (void)fleet.SubmitFeedback("weird key/with:chars", g.domain);
+  ASSERT_TRUE(fleet.Drain().ok());
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  std::vector<std::string> names;
+  for (const auto& c : snapshot.counters) names.push_back(c.name);
+  for (const auto& gauge : snapshot.gauges) names.push_back(gauge.name);
+  for (const auto& l : snapshot.latencies) names.push_back(l.name);
+  ASSERT_FALSE(names.empty());
+  bool saw_fleet = false;
+  for (const std::string& name : names) {
+    if (name.rfind("serve.fleet", 0) != 0) continue;
+    saw_fleet = true;
+    // Exactly three dot-separated segments, every char from the safe set:
+    // tenant keys must never leak raw into metric names.
+    EXPECT_EQ(std::count(name.begin(), name.end(), '.'), 2) << name;
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '.';
+      EXPECT_TRUE(ok) << "unsafe char in metric name: " << name;
+    }
+  }
+  EXPECT_TRUE(saw_fleet);
+}
+
+TEST(FleetMetricsTest, MetricCountBoundedPastTheTopKLabelCap) {
+  CrossConfig data_config;
+  data_config.tuples_per_cluster = 200;
+  data_config.noise_tuples = 40;
+  GeneratedData g = MakeCross(data_config);
+  Executor executor(g.data);
+  STHolesConfig hc;
+  hc.max_buckets = 8;
+  auto make_hist = [&] {
+    return std::make_unique<STHoles>(g.domain,
+                                     static_cast<double>(g.data.size()), hc);
+  };
+
+  MetricsRegistry registry;
+  FleetConfig config;
+  config.refiners = 2;
+  config.top_k_shard_labels = 3;
+  config.metrics = &registry;
+  ServiceFleet fleet(config);
+
+  auto shard_label_metrics = [&registry] {
+    size_t n = 0;
+    for (const auto& c : registry.Snapshot().counters) {
+      if (c.name.rfind("serve.fleet_shard_", 0) == 0) ++n;
+    }
+    return n;
+  };
+
+  for (int t = 0; t < 12; ++t) {
+    ASSERT_TRUE(
+        fleet.AddTenant("tenant_" + std::to_string(t), make_hist(), executor)
+            .ok());
+  }
+  // 3 labeled shards × 2 cells + the shared "other" pair.
+  const size_t capped = shard_label_metrics();
+  EXPECT_EQ(capped, 2u * (config.top_k_shard_labels + 1));
+  const size_t total_at_12 = registry.Snapshot().total_metrics();
+
+  // Growing the fleet well past the cap must not add a single metric; churn
+  // (remove + re-add) must not either — a re-added tenant lands in "other".
+  for (int t = 12; t < 60; ++t) {
+    ASSERT_TRUE(
+        fleet.AddTenant("tenant_" + std::to_string(t), make_hist(), executor)
+            .ok());
+  }
+  ASSERT_TRUE(fleet.RemoveTenant("tenant_1").ok());
+  ASSERT_TRUE(fleet.AddTenant("tenant_1", make_hist(), executor).ok());
+  EXPECT_EQ(shard_label_metrics(), capped);
+  EXPECT_EQ(registry.Snapshot().total_metrics(), total_at_12)
+      << "metric cardinality must stay bounded as tenants grow";
+  EXPECT_EQ(fleet.stats().tenants, fleet.TenantKeys().size());
 }
 
 }  // namespace

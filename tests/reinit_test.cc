@@ -555,5 +555,73 @@ TEST(ReinitServiceTest, ReadsAndRefinementProgressDuringBackgroundRebuild) {
   EXPECT_TRUE(std::isfinite(service.Estimate(queries.front())));
 }
 
+// Destructor vs. in-flight background rebuild: destroying the service while
+// the builder thread is parked inside the rebuild hook must join the builder
+// cleanly — the refiner's shutdown path completes the swap (replaying the
+// rebuild window) instead of leaking or detaching the thread. The gate opens
+// from a separate thread only after destruction has begun, so the destructor
+// is provably the one doing the join. Runs under the TSan leg.
+TEST(ReinitServiceTest, DestructorJoinsParkedBackgroundBuilder) {
+  DriftSetup setup = MakeDriftSetup();
+  ServiceConfig config = ReinitServiceConfig(setup);
+  config.reinit.background = true;
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool builder_entered = false;
+  bool release_builder = false;
+  std::atomic<bool> builder_returned{false};
+  std::unique_ptr<STHoles> rebuilt_reference = TrainOnPhase(setup, 1, 40);
+  const STHoles* rebuilt_raw = rebuilt_reference.get();
+  config.reinit.rebuild_override = [&, rebuilt_raw](const Dataset&, double) {
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      builder_entered = true;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return release_builder; });
+    }
+    builder_returned.store(true);
+    return rebuilt_raw->Clone();
+  };
+
+  setup.oracle->SetPhase(0);
+  auto service = std::make_unique<HistogramService>(TrainOnPhase(setup, 0, 40),
+                                                    *setup.oracle, config);
+  setup.oracle->SetPhase(1);
+  const Workload& queries = setup.schedule.phase(1).queries;
+
+  // Garbage served estimates force the trigger; the builder parks.
+  for (const Box& q : queries) {
+    (void)service->SubmitFeedback(q, 1e7);
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    if (builder_entered) break;
+  }
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    ASSERT_TRUE(gate_cv.wait_for(lock, std::chrono::seconds(10),
+                                 [&] { return builder_entered; }))
+        << "the trigger never started a background rebuild";
+  }
+
+  // Open the gate only after the destructor has had time to reach the
+  // builder join; the service must sit blocked until then, not crash or
+  // return with the builder still running.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    {
+      std::lock_guard<std::mutex> lock(gate_mutex);
+      release_builder = true;
+    }
+    gate_cv.notify_all();
+  });
+
+  ServiceStats before = service->stats();
+  EXPECT_EQ(before.reinit_swaps_completed, 0u) << "builder is parked";
+  service.reset();  // ~HistogramService -> Stop -> refiner -> builder join.
+  EXPECT_TRUE(builder_returned.load())
+      << "destructor returned while the builder was still inside the hook";
+  releaser.join();
+}
+
 }  // namespace
 }  // namespace sthist

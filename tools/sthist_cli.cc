@@ -16,6 +16,7 @@
 // (unknown subcommand or flag).
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -44,8 +45,11 @@
 #include "init/initializer.h"
 #include "obs/metrics.h"
 #include "serve/histogram_service.h"
+#include "serve/service_fleet.h"
 #include "testing/fault_injection.h"
 #include "workload/drift.h"
+#include "workload/query.h"
+#include "workload/workload.h"
 
 namespace {
 
@@ -862,6 +866,177 @@ Status RunServeSim(const Flags& flags) {
   return Status::Ok();
 }
 
+// ---------------------------------------------------------------------------
+// fleet-sim: sharded multi-tenant serving through a shared refiner pool.
+// ---------------------------------------------------------------------------
+
+// Folds the little-endian bytes of `value` into an FNV-1a digest.
+void FoldDigest(uint64_t value, uint64_t* digest) {
+  for (int byte = 0; byte < 8; ++byte) {
+    *digest ^= (value >> (8 * byte)) & 0xffu;
+    *digest *= 1099511628211ULL;
+  }
+}
+
+Status RunFleetSim(const Flags& flags) {
+  STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
+      {STHIST_COMMON_FLAGS, "tenants", "refiners", "queries", "buckets",
+       "readers", "pace", "seed", "queue-cap", "publish-batch"}));
+
+  const size_t tenants = flags.Size("tenants", 16);
+  const size_t per_tenant = flags.Size("queries", 64);
+  const size_t buckets = flags.Size("buckets", 24);
+  const size_t readers = flags.Size("readers", 0);
+  const size_t pace = flags.Size("pace", 0);
+  const uint64_t seed = static_cast<uint64_t>(flags.Num("seed", 1));
+  if (tenants == 0 || per_tenant == 0 || buckets == 0) {
+    return Status::InvalidArgument(
+        "--tenants, --queries, and --buckets must be > 0");
+  }
+
+  FleetConfig fc;
+  fc.refiners = flags.Size("refiners", fc.refiners);
+  fc.queue_capacity = flags.Size("queue-cap", fc.queue_capacity);
+  fc.publish_batch = flags.Size("publish-batch", fc.publish_batch);
+  fc.seed = seed;
+  fc.metrics = obs::GlobalMetrics();
+  if (fc.refiners == 0 || fc.queue_capacity == 0 || fc.publish_batch == 0) {
+    return Status::InvalidArgument(
+        "--refiners, --queue-cap, and --publish-batch must be > 0");
+  }
+
+  // Shared data variants: tenants alternate over two small cross datasets —
+  // a fleet of many histograms over few underlying tables, the multi-tenant
+  // shape DESIGN.md §16 targets. Dataset seeds derive from --seed so the
+  // whole simulation is one seed away from reproducible.
+  struct Variant {
+    explicit Variant(GeneratedData generated) : g(std::move(generated)) {}
+    GeneratedData g;
+    std::unique_ptr<Executor> executor;
+  };
+  std::vector<std::unique_ptr<Variant>> variants;
+  for (size_t v = 0; v < std::min<size_t>(tenants, 2); ++v) {
+    CrossConfig config;
+    config.tuples_per_cluster = 600 - 200 * v;
+    config.noise_tuples = config.tuples_per_cluster / 5;
+    config.seed = DeriveSeed(seed, 101 + v);
+    STHIST_RETURN_IF_ERROR(Validate(config));
+    auto variant = std::make_unique<Variant>(MakeCross(config));
+    variant->executor = std::make_unique<Executor>(variant->g.data);
+    variants.push_back(std::move(variant));
+  }
+
+  ServiceFleet fleet(fc);
+  std::vector<std::string> keys;
+  std::vector<Workload> streams;
+  keys.reserve(tenants);
+  streams.reserve(tenants);
+  for (size_t t = 0; t < tenants; ++t) {
+    keys.push_back("tenant_" + std::to_string(t));
+    Variant& v = *variants[t % variants.size()];
+    STHolesConfig hc;
+    hc.max_buckets = buckets;
+    auto hist = std::make_unique<STHoles>(
+        v.g.domain, static_cast<double>(v.g.data.size()), hc);
+    STHIST_RETURN_IF_ERROR(
+        fleet.AddTenant(keys.back(), std::move(hist), *v.executor));
+    // Each tenant's feedback stream is seeded from its fleet identity:
+    // pure in (--seed, key), so the streams — and with --pace 1 the final
+    // snapshots — replay bit-identically at any --refiners.
+    WorkloadConfig wc;
+    wc.num_queries = per_tenant;
+    wc.volume_fraction = 0.01;
+    wc.seed = fleet.TenantId(keys.back());
+    streams.push_back(MakeWorkload(v.g.domain, wc));
+  }
+
+  // Optional background readers: pure snapshot traffic across the fleet
+  // while the driver below writes. CI's determinism smoke runs --readers 0;
+  // interactive runs use readers to put load on the shared-lock map path.
+  std::atomic<bool> readers_stop{false};
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(readers);
+  for (size_t r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      size_t i = 0;
+      while (!readers_stop.load(std::memory_order_relaxed)) {
+        size_t t = (r * 7 + i) % tenants;
+        (void)fleet.Estimate(keys[t], streams[t][i % streams[t].size()]);
+        ++i;
+      }
+    });
+  }
+
+  // Deterministic driver: tenant-major round-robin, estimate + feed back.
+  // --pace P drains the whole fleet every P submissions; --pace 1 is the
+  // fully serialized replay the determinism smoke diffs.
+  auto t0 = std::chrono::steady_clock::now();
+  double sink = 0.0;
+  size_t submitted = 0;
+  size_t shed = 0;
+  for (size_t i = 0; i < per_tenant; ++i) {
+    for (size_t t = 0; t < tenants; ++t) {
+      const Box& q = streams[t][i];
+      StatusOr<double> est = fleet.Estimate(keys[t], q);
+      if (!est.ok()) return est.status();
+      sink += *est;
+      StatusOr<FleetFeedbackOutcome> outcome = fleet.SubmitFeedback(keys[t], q);
+      if (!outcome.ok()) return outcome.status();
+      if (*outcome != FleetFeedbackOutcome::kAccepted) ++shed;
+      ++submitted;
+      if (pace != 0 && submitted % pace == 0) {
+        STHIST_RETURN_IF_ERROR(fleet.Drain());
+      }
+    }
+  }
+  STHIST_RETURN_IF_ERROR(fleet.Drain());
+  double drive_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  readers_stop.store(true);
+  for (std::thread& rt : reader_threads) rt.join();
+  fleet.Stop();
+
+  // Determinism digest: FNV-1a over every tenant's identity and its final
+  // snapshot's probe estimates (the tenant's own stream), in sorted key
+  // order. Identical digests across runs/refiner counts == identical
+  // published histograms, bit for bit.
+  uint64_t digest = 1469598103934665603ULL;
+  std::vector<std::string> sorted_keys = fleet.TenantKeys();
+  for (const std::string& key : sorted_keys) {
+    FoldDigest(fleet.TenantId(key), &digest);
+    std::shared_ptr<const Histogram> snap = fleet.Snapshot(key);
+    if (snap == nullptr) return Status::NotFound("lost snapshot: " + key);
+    size_t t = 0;
+    while (t < tenants && keys[t] != key) ++t;
+    for (const Box& probe : streams[t]) {
+      FoldDigest(std::bit_cast<uint64_t>(snap->Estimate(probe)), &digest);
+    }
+  }
+
+  FleetStats stats = fleet.stats();
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"tenants", FormatSize(stats.tenants)});
+  table.AddRow({"refiners", FormatSize(fc.refiners)});
+  table.AddRow({"reader threads", FormatSize(readers)});
+  table.AddRow({"reads served", FormatSize(stats.reads_served)});
+  table.AddRow({"feedback accepted", FormatSize(stats.feedback_accepted)});
+  table.AddRow({"feedback shed", FormatSize(stats.feedback_dropped())});
+  table.AddRow({"feedback applied", FormatSize(stats.feedback_applied)});
+  table.AddRow({"publishes", FormatSize(stats.publishes)});
+  table.AddRow({"shard runs", FormatSize(stats.shard_runs)});
+  table.AddRow({"driver shed", FormatSize(shed)});
+  table.AddRow({"drive s", FormatDouble(drive_seconds, 2)});
+  table.AddRow({"mean estimate",
+                FormatDouble(sink / static_cast<double>(submitted), 1)});
+  table.Print();
+
+  std::printf("fleet digest: %016llx\n",
+              static_cast<unsigned long long>(digest));
+  std::printf("--- metrics ---\n%s", obs::GlobalMetrics()->ToText().c_str());
+  return Status::Ok();
+}
+
 void PrintUsage() {
   std::fputs(
       "usage: sthist_cli <command> [--flag value ...]\n"
@@ -906,6 +1081,14 @@ void PrintUsage() {
       "              --fault-reinit-rate R --fault-reinit-seed S inject\n"
       "              faults into the rebuild path (aborted swaps keep the\n"
       "              incumbent serving)\n"
+      "  fleet-sim   sharded multi-tenant serving: N tenant histograms share\n"
+      "              K pooled refiner threads; ends with a determinism\n"
+      "              digest over the final snapshots and a metrics dump\n"
+      "              --tenants N --refiners K --queries N --buckets N\n"
+      "              --readers N --seed S --queue-cap N --publish-batch N\n"
+      "              --pace P drains the fleet every P submissions\n"
+      "              (--pace 1 = serialized replay: the digest is invariant\n"
+      "              across runs and --refiners values)\n"
       "\n"
       "every command accepts --metrics-json <path>: export the run's\n"
       "metrics registry (counters, gauges, latency histograms) as JSON\n"
@@ -967,6 +1150,8 @@ int main(int argc, char** argv) {
     status = RunInspect(flags);
   } else if (command == "serve-sim") {
     status = RunServeSim(flags);
+  } else if (command == "fleet-sim") {
+    status = RunFleetSim(flags);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     PrintUsage();
