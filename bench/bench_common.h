@@ -8,8 +8,26 @@
 
 #include "data/generators.h"
 #include "eval/runner.h"
+#include "obs/metrics.h"
 
 namespace sthist::bench {
+
+/// Approximate p99 from the fixed log-scale latency buckets: the upper bound
+/// of the bucket holding the 99th-percentile observation (max for overflow).
+inline double ApproxP99Seconds(
+    const obs::MetricsSnapshot::LatencyValue& latency) {
+  if (latency.count == 0) return 0.0;
+  const uint64_t target = (latency.count * 99 + 99) / 100;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < obs::kLatencyBuckets; ++b) {
+    cumulative += latency.buckets[b];
+    if (cumulative >= target) {
+      return b < obs::kLatencyBounds.size() ? obs::kLatencyBounds[b]
+                                            : latency.max_seconds;
+    }
+  }
+  return latency.max_seconds;
+}
 
 /// Command-line knobs shared by every harness, parsed by one function so the
 /// flags mean the same thing everywhere (DESIGN.md §13 for --metrics-json).

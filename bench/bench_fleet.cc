@@ -72,22 +72,6 @@ FleetBenchSetup MakeFleetSetup(const Scale& scale, uint64_t seed_offset) {
   return setup;
 }
 
-/// Approximate p99 from the fixed log-scale latency buckets: the upper bound
-/// of the bucket holding the 99th-percentile observation (max for overflow).
-double ApproxP99Seconds(const obs::MetricsSnapshot::LatencyValue& latency) {
-  if (latency.count == 0) return 0.0;
-  const uint64_t target = (latency.count * 99 + 99) / 100;
-  uint64_t cumulative = 0;
-  for (size_t b = 0; b < obs::kLatencyBuckets; ++b) {
-    cumulative += latency.buckets[b];
-    if (cumulative >= target) {
-      return b < obs::kLatencyBounds.size() ? obs::kLatencyBounds[b]
-                                            : latency.max_seconds;
-    }
-  }
-  return latency.max_seconds;
-}
-
 struct FleetRow {
   double idle_rps = 0.0;
   double live_rps = 0.0;
@@ -95,6 +79,7 @@ struct FleetRow {
   size_t applied = 0;
   size_t shed = 0;
   double publish_p99_ms = 0.0;
+  double publish_mean_ms = 0.0;
 };
 
 /// One tenant-count row. The fleet records into its own registry so the
@@ -103,7 +88,7 @@ struct FleetRow {
 /// feeder threads keeping every shard queue supplied.
 FleetRow MeasureFleet(const FleetBenchSetup& setup, size_t tenants,
                       size_t readers, size_t reads_per_thread,
-                      uint64_t seed) {
+                      uint64_t seed, bool clone_publish = false) {
   obs::MetricsRegistry registry;
 
   FleetConfig fc;
@@ -111,6 +96,7 @@ FleetRow MeasureFleet(const FleetBenchSetup& setup, size_t tenants,
   fc.queue_capacity = 256;
   fc.publish_batch = 16;
   fc.seed = seed;
+  fc.clone_publish = clone_publish;
   fc.metrics = &registry;
   ServiceFleet fleet(fc);
 
@@ -192,6 +178,10 @@ FleetRow MeasureFleet(const FleetBenchSetup& setup, size_t tenants,
   for (const auto& latency : registry.Snapshot().latencies) {
     if (latency.name == "serve.fleet.publish_seconds") {
       row.publish_p99_ms = ApproxP99Seconds(latency) * 1e3;
+      row.publish_mean_ms =
+          latency.count > 0
+              ? latency.sum_seconds / static_cast<double>(latency.count) * 1e3
+              : 0.0;
     }
   }
   return row;
@@ -240,6 +230,26 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  // COW vs clone-on-publish across a mid-size fleet under the same mixed
+  // load: every shard publish must get cheaper when it stops deep-copying
+  // its bucket tree. Same-box ratio, so it gates on any hardware.
+  const size_t h2h_tenants = 256;
+  FleetRow cow = MeasureFleet(setup, h2h_tenants, readers, reads_per_thread,
+                              options.seed + 7, false);
+  FleetRow clone = MeasureFleet(setup, h2h_tenants, readers, reads_per_thread,
+                                options.seed + 7, true);
+  const double publish_mean_ratio =
+      clone.publish_mean_ms / std::max(cow.publish_mean_ms, 1e-12);
+  const double publish_p99_ratio =
+      clone.publish_p99_ms / std::max(cow.publish_p99_ms, 1e-12);
+  const double cow_live_ratio = cow.live_rps / clone.live_rps;
+  std::printf(
+      "publish cow vs clone (%zu tenants): mean %.4f ms vs %.4f ms (%.1fx), "
+      "p99 %.4f ms vs %.4f ms (%.1fx), live reads %.0f/s vs %.0f/s (%.2fx)\n",
+      h2h_tenants, cow.publish_mean_ms, clone.publish_mean_ms,
+      publish_mean_ratio, cow.publish_p99_ms, clone.publish_p99_ms,
+      publish_p99_ratio, cow.live_rps, clone.live_rps, cow_live_ratio);
+
   // The ISSUE's acceptance bound: at 1k+ shards, live-refiner read
   // throughput within 15% of the idle baseline — but only where the
   // hardware can show it. On a box with cores to spare the pool runs beside
@@ -256,7 +266,46 @@ int main(int argc, char** argv) {
                            {"floor", floor},
                            {"publish_p99_ms_1k", p99_1k_ms},
                            {"publishes_1k",
-                            static_cast<double>(publishes_1k)}})) {
+                            static_cast<double>(publishes_1k)},
+                           {"publish_mean_ms_cow", cow.publish_mean_ms},
+                           {"publish_mean_ms_clone", clone.publish_mean_ms},
+                           {"publish_p99_ms_cow", cow.publish_p99_ms},
+                           {"publish_p99_ms_clone", clone.publish_p99_ms},
+                           {"publish_mean_ratio", publish_mean_ratio},
+                           {"publish_p99_ratio", publish_p99_ratio},
+                           {"cow_live_ratio", cow_live_ratio}})) {
+    return EXIT_FAILURE;
+  }
+
+  // COW publish gates, mirroring bench_serve: the mean must be strictly
+  // cheaper (continuous, same-box), the bucketed p99 must not regress, and
+  // readers must not pay for the zero-copy publish.
+  if (cow.publishes == 0 || clone.publishes == 0) {
+    std::fprintf(stderr, "FAIL: publish head-to-head never published "
+                 "(cow %zu, clone %zu)\n", cow.publishes, clone.publishes);
+    return EXIT_FAILURE;
+  }
+  if (publish_mean_ratio <= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: COW shard publish is not strictly cheaper than the "
+                 "deep clone (mean %.4f ms vs %.4f ms)\n",
+                 cow.publish_mean_ms, clone.publish_mean_ms);
+    return EXIT_FAILURE;
+  }
+  if (publish_p99_ratio < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: COW shard publish p99 regressed vs the deep clone "
+                 "(%.4f ms vs %.4f ms)\n",
+                 cow.publish_p99_ms, clone.publish_p99_ms);
+    return EXIT_FAILURE;
+  }
+  // Report-only on 1-2 cores, same rationale as the live/idle floor: the
+  // path-copy work COW moves into refinement competes with readers there.
+  if (many_cores && cow_live_ratio < 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: COW publishing dented live fleet read throughput vs "
+                 "the clone path (%.2fx)\n",
+                 cow_live_ratio);
     return EXIT_FAILURE;
   }
 

@@ -1,0 +1,106 @@
+#include "core/binfmt.h"
+
+#include <cstring>
+
+namespace sthist {
+namespace binfmt {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+double ReadF64(const char* p) {
+  const uint64_t bits = ReadU64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string Frame(const char* magic, uint32_t version,
+                  std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.append(magic, 4);
+  AppendU32(&out, version);
+  AppendU64(&out, payload.size());
+  AppendU64(&out, Fnv1a(payload));
+  out.append(payload);
+  return out;
+}
+
+StatusOr<std::string_view> Unframe(const char* magic, uint32_t version,
+                                   std::string_view bytes) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "snapshot truncated: %zu bytes, need a %zu-byte header",
+                   bytes.size(), kFrameHeaderSize);
+  }
+  if (std::memcmp(bytes.data(), magic, 4) != 0) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "bad snapshot magic (expected \"%.4s\")", magic);
+  }
+  const uint32_t file_version = ReadU32(bytes.data() + 4);
+  if (file_version != version) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "unsupported snapshot format version %u "
+                   "(this build reads version %u)",
+                   file_version, version);
+  }
+  const uint64_t payload_size = ReadU64(bytes.data() + 8);
+  const uint64_t checksum = ReadU64(bytes.data() + 16);
+  if (payload_size != bytes.size() - kFrameHeaderSize) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "snapshot payload size mismatch: header says %llu, "
+                   "file holds %zu",
+                   static_cast<unsigned long long>(payload_size),
+                   bytes.size() - kFrameHeaderSize);
+  }
+  const std::string_view payload = bytes.substr(kFrameHeaderSize);
+  if (Fnv1a(payload) != checksum) {
+    return Status::InvalidArgument("snapshot checksum mismatch");
+  }
+  return payload;
+}
+
+}  // namespace binfmt
+}  // namespace sthist

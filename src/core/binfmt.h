@@ -1,0 +1,58 @@
+#ifndef STHIST_CORE_BINFMT_H_
+#define STHIST_CORE_BINFMT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+
+/// \file
+/// Shared primitives of the versioned binary snapshot formats (DESIGN.md
+/// §17): little-endian integer/double encoding, the FNV-1a payload checksum,
+/// and the common 24-byte frame every snapshot layer wraps its payload in —
+///
+///   magic (4 bytes) | u32 format version | u64 payload size
+///   | u64 FNV-1a checksum of the payload
+///
+/// The encoding is byte-explicit (independent of host endianness), and
+/// doubles travel as raw IEEE-754 bit patterns so values round-trip
+/// bit-exactly. Unframe fails closed: any framing violation returns an error
+/// Status before a single payload byte is trusted.
+
+namespace sthist {
+namespace binfmt {
+
+/// Size of the magic + version + payload-size + checksum frame header.
+inline constexpr size_t kFrameHeaderSize = 24;
+
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+/// Appends the raw IEEE-754 bit pattern of `v` (little-endian).
+void AppendF64(std::string* out, double v);
+
+/// Readers assume the caller has bounds-checked `p` for 4/8 readable bytes.
+uint32_t ReadU32(const char* p);
+uint64_t ReadU64(const char* p);
+double ReadF64(const char* p);
+
+/// 64-bit FNV-1a over `bytes` — the frame checksum. Not cryptographic; it
+/// guards against truncation and bit rot, not adversaries.
+uint64_t Fnv1a(std::string_view bytes);
+
+/// Wraps `payload` in the frame header under `magic` (exactly 4 bytes) and
+/// `version`.
+std::string Frame(const char* magic, uint32_t version,
+                  std::string_view payload);
+
+/// Verifies the frame (length, magic, version, payload size, checksum) and
+/// returns a view of the payload. A version mismatch is diagnosed with both
+/// the file's version and `version`, so operators can tell a stale file from
+/// a stale binary.
+StatusOr<std::string_view> Unframe(const char* magic, uint32_t version,
+                                   std::string_view bytes);
+
+}  // namespace binfmt
+}  // namespace sthist
+
+#endif  // STHIST_CORE_BINFMT_H_

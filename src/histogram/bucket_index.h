@@ -2,6 +2,7 @@
 #define STHIST_HISTOGRAM_BUCKET_INDEX_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -27,6 +28,34 @@ namespace sthist {
 /// boxes, and EstimateNode returns 0.0 at its top guard — so skipping those
 /// buckets, while visiting the survivors in the same nesting and order,
 /// reproduces the linear result bit for bit.
+
+/// Relaxed-atomic cell for a bucket's cached region volume.
+///
+/// With COW snapshot publishing (DESIGN.md §17) a bucket node can belong to
+/// several trees at once — the refiner's working tree and any number of
+/// published snapshots share untouched subtrees. Each tree builds its own
+/// index lazily, and every build writes the node's region volume; the values
+/// are bitwise-identical (a shared node is immutable, so the same boxes feed
+/// the same expression), but concurrent plain-double stores would still be a
+/// data race. The relaxed atomic makes the same-value overlap benign without
+/// adding any ordering cost to the probe path.
+class RegionCache {
+ public:
+  RegionCache() = default;
+  RegionCache(const RegionCache& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  RegionCache& operator=(const RegionCache& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
 
 /// Reference to one bucket as a child of its parent: the probe result
 /// currency. `slot` is the index into `parent->children`.
@@ -73,12 +102,13 @@ class BucketGroups {
 
 /// Spatial index over every non-root bucket of one histogram's bucket tree.
 ///
-/// BucketT must expose `Box box`, `double frequency`, a
-/// `std::vector<std::unique_ptr<BucketT>> children`, and a writable
-/// `double cached_region` the index refreshes with the bucket's region
-/// volume (box volume minus child box volumes, clamped at 0 — computed by
-/// the same loop as the linear RegionVolume, so the cached value is
-/// bitwise-identical to a fresh computation).
+/// BucketT must expose `Box box`, `double frequency`, a vector of owning
+/// child pointers named `children` (unique_ptr for exclusive trees,
+/// shared_ptr for COW trees), and a writable `RegionCache cached_region` the
+/// index refreshes with the bucket's region volume (box volume minus child
+/// box volumes, clamped at 0 — computed by the same loop as the linear
+/// RegionVolume, so the cached value is bitwise-identical to a fresh
+/// computation).
 ///
 /// Lifecycle: `Rebuild` after structural changes (or lazily before the next
 /// probe); `AppendChild` is the incremental fast-path for a drill that only
@@ -158,7 +188,7 @@ class BucketTreeIndex {
     for (const auto& child : bucket->children) {
       volume -= child->box.Volume();
     }
-    bucket->cached_region = std::max(volume, 0.0);
+    bucket->cached_region.Set(std::max(volume, 0.0));
   }
 
   FlatBoxIndex tree_;
@@ -182,7 +212,7 @@ double EstimateIndexed(const BucketT& bucket, const Box& query,
   if (!bucket.box.Intersects(query)) return 0.0;
   const auto kids = groups.Of(&bucket);
   double est = 0.0;
-  const double region = bucket.cached_region;
+  const double region = bucket.cached_region.Get();
   if (region > min_volume) {
     double overlap = bucket.box.IntersectionVolume(query);
     for (const BucketChildRef<BucketT>& ref : kids) {

@@ -103,6 +103,30 @@ class Histogram {
   /// snapshotting — callers that require clones must check.
   virtual std::unique_ptr<Histogram> Clone() const { return nullptr; }
 
+  /// Immutable snapshot of this histogram, the publish primitive of the
+  /// serving layer (DESIGN.md §11, §17). Same observable contract as Clone
+  /// — the snapshot's Estimate / EstimateLinear are bitwise-identical to the
+  /// source's at the moment of snapshotting, and later refinement of the
+  /// source never changes what the snapshot answers — but implementations
+  /// with a persistent (copy-on-write) bucket organization may share
+  /// immutable structure with the source instead of deep-copying, making a
+  /// snapshot O(1) while refinement path-copies only what it touches. The
+  /// default wraps Clone(), so every cloneable histogram is snapshottable;
+  /// returns nullptr exactly when Clone() does.
+  virtual std::shared_ptr<const Histogram> Snapshot() const {
+    return std::shared_ptr<const Histogram>(Clone());
+  }
+
+  /// Versioned binary snapshot of this histogram's state (magic + version +
+  /// checksum framing, DESIGN.md §17), the persistence primitive behind warm
+  /// restarts and replica hand-off. Returns the empty string for
+  /// implementations without a binary format — callers must treat empty as
+  /// "unsupported", never as a zero-length snapshot (every real encoding
+  /// begins with a magic tag). Reconstruction is per-implementation (e.g.
+  /// STHoles::DeserializeBinary), since the caller chooses the concrete type
+  /// it restores into.
+  virtual std::string SerializeBinary() const { return std::string(); }
+
   /// Query-feedback refinement hook, invoked after `query` has executed.
   /// `oracle` can count tuples in sub-rectangles of the query (and, for this
   /// simulation substrate, arbitrary rectangles). Static histograms ignore

@@ -19,7 +19,7 @@ struct IsomerHistogram::Bucket {
   double frequency = 0.0;
   std::vector<std::unique_ptr<Bucket>> children;
   /// Region volume as of the last index (re)build; see STHoles::Bucket.
-  double cached_region = 0.0;
+  RegionCache cached_region;
 };
 
 /// Spatial index over the bucket tree plus its build/validity state
@@ -358,7 +358,7 @@ void IsomerHistogram::EnsurePlan(Constraint* constraint) {
     node.bucket = b;
     // cached_region is bitwise-identical to RegionVolume here: EnsureIndex
     // above refreshed it against the current structure.
-    node.region = b->cached_region;
+    node.region = b->cached_region.Get();
     // RegionIntersectionVolume, subtracting only intersecting children (the
     // others subtract exact 0.0 in the uncached loop).
     double v = b->box.IntersectionVolume(box);

@@ -7,6 +7,7 @@
 #include <limits>
 #include <mutex>
 
+#include "core/binfmt.h"
 #include "core/check.h"
 #include "core/simd.h"
 #include "histogram/bucket_index.h"
@@ -17,14 +18,21 @@ namespace sthist {
 
 /// One node of the bucket tree. The bucket's region is `box` minus the boxes
 /// of `children`; `frequency` counts tuples in the region only.
+///
+/// Children are shared_ptr handles because snapshots share subtrees with the
+/// working tree (DESIGN.md §17): a node is mutated only after refinement has
+/// established exclusive ownership of it (use_count == 1) via path copying,
+/// so a shared node — reachable from any published snapshot — is immutable.
 struct STHoles::Bucket {
   Box box;
   double frequency = 0.0;
-  std::vector<std::unique_ptr<Bucket>> children;
+  std::vector<std::shared_ptr<Bucket>> children;
   /// Region volume as of the last index (re)build; only read on the indexed
   /// estimation path, which guarantees it is fresh (bitwise equal to
-  /// RegionVolume) whenever IndexState::ready holds.
-  double cached_region = 0.0;
+  /// RegionVolume) whenever IndexState::ready holds. A relaxed-atomic cell
+  /// because the working tree and each snapshot build their own index, and
+  /// those builds write bitwise-identical values into shared nodes.
+  RegionCache cached_region;
 };
 
 /// Spatial index over the bucket tree plus its build/validity state.
@@ -60,7 +68,7 @@ STHoles::STHoles(const Box& domain, double total_tuples,
   STHIST_CHECK(domain.dim() > 0);
   STHIST_CHECK(domain.Volume() > 0);
   STHIST_CHECK(total_tuples >= 0);
-  root_ = std::make_unique<Bucket>();
+  root_ = std::make_shared<Bucket>();
   root_->box = domain;
   root_->frequency = total_tuples;
   bucket_count_ = 1;
@@ -87,6 +95,9 @@ STHoles::STHoles(const Box& domain, double total_tuples,
   metrics_.flat_entry_blocks = reg->counter("index.flat.entry_blocks");
   metrics_.flat_simd_level = reg->gauge("index.flat.simd_level");
   metrics_.flat_simd_level.Set(static_cast<double>(simd::ActiveLevel()));
+  metrics_.cow_copied = reg->counter("histogram.cow.copied_nodes");
+  metrics_.cow_snapshots = reg->counter("histogram.cow.snapshots");
+  metrics_.cow_shared = reg->gauge("histogram.cow.shared_nodes");
   metrics_.ring = reg->ring();
 }
 
@@ -229,9 +240,12 @@ void STHoles::Refine(const Box& query, const CardinalityOracle& oracle) {
   SanitizingOracle safe(oracle, &stats_);
 
   // Snapshot the buckets the query intersects before mutating the tree: holes
-  // drilled by this very query must not be drilled into again.
+  // drilled by this very query must not be drilled into again. The collection
+  // descent also re-establishes exclusive ownership of exactly those buckets
+  // (the touched spine), so everything drilled or frequency-corrected below
+  // is guaranteed unshared from any published snapshot.
   std::vector<Bucket*> intersecting;
-  CollectIntersecting(root_.get(), q, &intersecting);
+  CollectIntersecting(EnsureExclusiveRoot(), q, &intersecting);
 
   for (Bucket* b : intersecting) {
     Box candidate = ShrinkCandidate(*b, q);
@@ -245,10 +259,14 @@ void STHoles::Refine(const Box& query, const CardinalityOracle& oracle) {
 
 void STHoles::CollectIntersecting(Bucket* b, const Box& query,
                                   std::vector<Bucket*>* out) {
-  if (b->box.IntersectionVolume(query) <= 0.0) return;
+  // Precondition: b is exclusively owned (the caller unshared it). Children
+  // are unshared right before descending, and only the intersecting ones —
+  // the intersecting set is upward-closed (a child's box nests inside its
+  // parent's), so this copies exactly the touched spine and nothing else.
   out->push_back(b);
-  for (const auto& child : b->children) {
-    CollectIntersecting(child.get(), query, out);
+  for (size_t slot = 0; slot < b->children.size(); ++slot) {
+    if (b->children[slot]->box.IntersectionVolume(query) <= 0.0) continue;
+    CollectIntersecting(EnsureExclusiveChild(b, slot), query, out);
   }
 }
 
@@ -351,19 +369,24 @@ void STHoles::DrillHole(Bucket* b, const Box& candidate,
   }
 
   // Children fully contained in the candidate migrate into the new hole.
-  // A child whose box *is* the candidate just gets its frequency corrected.
-  for (const auto& child : b->children) {
-    if (child->box.ApproxEquals(candidate, eps)) {
-      SetExactFrequency(child.get(), oracle);
+  // A child whose box *is* the candidate just gets its frequency corrected —
+  // unshared explicitly, because the tolerance can match a child the
+  // collection descent skipped (zero-volume intersection under eps).
+  for (size_t slot = 0; slot < b->children.size(); ++slot) {
+    if (b->children[slot]->box.ApproxEquals(candidate, eps)) {
+      SetExactFrequency(EnsureExclusiveChild(b, slot), oracle);
       return;
     }
   }
 
-  auto hole = std::make_unique<Bucket>();
+  auto hole = std::make_shared<Bucket>();
   hole->box = candidate;
 
+  // Moving child *handles* between the exclusively-owned b and the fresh
+  // hole never mutates the children themselves, so migrated subtrees may
+  // stay shared with snapshots.
   double moved_mass = 0.0;
-  std::vector<std::unique_ptr<Bucket>> kept;
+  std::vector<std::shared_ptr<Bucket>> kept;
   kept.reserve(b->children.size());
   for (auto& child : b->children) {
     if (candidate.Contains(child->box)) {
@@ -384,6 +407,7 @@ void STHoles::DrillHole(Bucket* b, const Box& candidate,
   const size_t migrated_children = hole->children.size();
   b->children.push_back(std::move(hole));
   ++bucket_count_;
+  ++fresh_since_snapshot_;
   metrics_.drills.Inc();
   metrics_.migrated_children.Inc(migrated_children);
 
@@ -413,6 +437,12 @@ void STHoles::EnforceBudget() {
       ++stats_.repaired_buckets;
       return;
     }
+    // The merge mutates the parent node (frequency, children list), which
+    // FindBestMerge may have picked outside the spine this Refine already
+    // unshared. Re-establish exclusive ownership down to it first; the
+    // children handles survive a parent copy, so merge.first/second stay
+    // valid either way.
+    merge.parent = UnsharePathTo(merge.parent);
     ApplyMerge(merge);
   }
 }
@@ -567,16 +597,19 @@ void STHoles::ApplyMerge(const MergeCandidate& merge) {
 
   if (merge.second == nullptr) {
     // Parent-child: the child's mass and holes float up into the parent.
+    // The dying child may still be shared with a snapshot, so its grandchild
+    // handles are *copied* up, never moved out — moving would gut a node a
+    // snapshot is still reading.
     Bucket* child = merge.first;
     parent->frequency += child->frequency;
     auto it = std::find_if(
         parent->children.begin(), parent->children.end(),
-        [child](const std::unique_ptr<Bucket>& b) { return b.get() == child; });
+        [child](const std::shared_ptr<Bucket>& b) { return b.get() == child; });
     STHIST_CHECK(it != parent->children.end());
-    std::unique_ptr<Bucket> owned = std::move(*it);
+    std::shared_ptr<Bucket> owned = *it;  // Keep alive across the erase.
     parent->children.erase(it);
-    for (auto& grandchild : owned->children) {
-      parent->children.push_back(std::move(grandchild));
+    for (const auto& grandchild : owned->children) {
+      parent->children.push_back(grandchild);
     }
     --bucket_count_;
     return;
@@ -593,23 +626,26 @@ void STHoles::ApplyMerge(const MergeCandidate& merge) {
   double from_parent =
       vp > 0.0 ? parent->frequency * std::min(vold / vp, 1.0) : 0.0;
 
-  auto merged = std::make_unique<Bucket>();
+  auto merged = std::make_shared<Bucket>();
   merged->box = bn;
   merged->frequency =
       merge.first->frequency + merge.second->frequency + from_parent;
   parent->frequency = std::max(parent->frequency - from_parent, 0.0);
 
-  std::vector<std::unique_ptr<Bucket>> kept;
+  std::vector<std::shared_ptr<Bucket>> kept;
   kept.reserve(parent->children.size());
   for (auto& sibling : parent->children) {
     Bucket* s = sibling.get();
     if (s == merge.first || s == merge.second) {
-      // Their holes live on inside the merged bucket.
-      for (auto& grandchild : s->children) {
-        merged->children.push_back(std::move(grandchild));
+      // Their holes live on inside the merged bucket — grandchild handles
+      // are copied, not moved: the dying siblings may be shared with a
+      // snapshot that is still reading them.
+      for (const auto& grandchild : s->children) {
+        merged->children.push_back(grandchild);
       }
     } else if (bn.Contains(s->box)) {
-      // Participants become children of the merged bucket, intact.
+      // Participants become children of the merged bucket, intact; only the
+      // handle moves (from the exclusively-owned parent), never the node.
       merged->children.push_back(std::move(sibling));
     } else {
       kept.push_back(std::move(sibling));
@@ -617,6 +653,7 @@ void STHoles::ApplyMerge(const MergeCandidate& merge) {
   }
   parent->children = std::move(kept);
   parent->children.push_back(std::move(merged));
+  ++fresh_since_snapshot_;
   --bucket_count_;
 }
 
@@ -645,8 +682,8 @@ std::vector<STHoles::BucketInfo> STHoles::Dump() const {
   return out;
 }
 
-std::unique_ptr<STHoles::Bucket> STHoles::CopySubtree(const Bucket& b) {
-  auto copy = std::make_unique<Bucket>();
+std::shared_ptr<STHoles::Bucket> STHoles::CopySubtree(const Bucket& b) {
+  auto copy = std::make_shared<Bucket>();
   copy->box = b.box;
   copy->frequency = b.frequency;
   copy->children.reserve(b.children.size());
@@ -666,6 +703,104 @@ std::unique_ptr<Histogram> STHoles::Clone() const {
   // at the moment of cloning; the clone's own IndexState starts at zero.
   clone->stats_ = robustness();
   return clone;
+}
+
+std::shared_ptr<const Histogram> STHoles::Snapshot() const {
+  // Shares the whole tree: the snapshot holds a second reference to root_,
+  // and refinement of this histogram path-copies away from every node it
+  // touches before mutating (CollectIntersecting / UnsharePathTo), so what
+  // the snapshot answers is frozen at this moment. The snapshot itself never
+  // refines — it is published as const — so its tree never diverges.
+  auto snap = std::unique_ptr<STHoles>(
+      new STHoles(root_->box, root_->frequency, config_));
+  snap->root_ = root_;
+  snap->bucket_count_ = bucket_count_;
+  snap->stats_ = robustness();
+  metrics_.cow_snapshots.Inc();
+  // Everything materialized since the previous snapshot (path copies plus
+  // drilled/merged buckets) is what this snapshot does NOT share with it.
+  const size_t fresh = std::min(fresh_since_snapshot_, bucket_count_);
+  metrics_.cow_shared.Set(static_cast<double>(bucket_count_ - fresh));
+  fresh_since_snapshot_ = 0;
+  return std::shared_ptr<const Histogram>(std::move(snap));
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write plumbing (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<STHoles::Bucket> STHoles::ShallowCopy(const Bucket& b) {
+  auto copy = std::make_shared<Bucket>();
+  copy->box = b.box;
+  copy->frequency = b.frequency;
+  copy->children = b.children;  // Handle copies: child subtrees stay shared.
+  copy->cached_region = b.cached_region;
+  return copy;
+}
+
+STHoles::Bucket* STHoles::EnsureExclusiveRoot() {
+  if (root_.use_count() > 1) {
+    root_ = ShallowCopy(*root_);
+    ++cow_copied_total_;
+    ++fresh_since_snapshot_;
+    metrics_.cow_copied.Inc();
+    // The index holds raw pointers into the superseded node.
+    InvalidateIndex();
+  }
+  return root_.get();
+}
+
+STHoles::Bucket* STHoles::EnsureExclusiveChild(Bucket* parent, size_t slot) {
+  // An exclusively-owned parent does NOT imply exclusively-owned children: a
+  // snapshot's copied ancestor still holds handles to the same child nodes,
+  // so the reference count is checked at every level of the descent.
+  std::shared_ptr<Bucket>& child = parent->children[slot];
+  if (child.use_count() > 1) {
+    child = ShallowCopy(*child);
+    ++cow_copied_total_;
+    ++fresh_since_snapshot_;
+    metrics_.cow_copied.Inc();
+    InvalidateIndex();
+  }
+  return child.get();
+}
+
+bool STHoles::FindPath(const Bucket* node, const Bucket* target,
+                       std::vector<size_t>* slots) {
+  if (node == target) return true;
+  for (size_t slot = 0; slot < node->children.size(); ++slot) {
+    slots->push_back(slot);
+    if (FindPath(node->children[slot].get(), target, slots)) return true;
+    slots->pop_back();
+  }
+  return false;
+}
+
+STHoles::Bucket* STHoles::UnsharePathTo(Bucket* target) {
+  std::vector<size_t> slots;
+  STHIST_CHECK_MSG(FindPath(root_.get(), target, &slots),
+                   "UnsharePathTo target is not a node of this tree");
+  Bucket* node = EnsureExclusiveRoot();
+  for (size_t slot : slots) node = EnsureExclusiveChild(node, slot);
+  return node;
+}
+
+size_t STHoles::SharedNodeCount() const {
+  // Sharing is transitive: every node below a multiply-referenced handle is
+  // physically shared with some snapshot even though its own handle count
+  // is 1 (only the subtree root's handle is duplicated by a path copy).
+  size_t shared = 0;
+  std::vector<std::pair<const Bucket*, bool>> stack;
+  stack.emplace_back(root_.get(), root_.use_count() > 1);
+  while (!stack.empty()) {
+    const auto [b, inherited] = stack.back();
+    stack.pop_back();
+    if (inherited) ++shared;
+    for (const auto& child : b->children) {
+      stack.emplace_back(child.get(), inherited || child.use_count() > 1);
+    }
+  }
+  return shared;
 }
 
 std::string STHoles::Serialize() const {
@@ -748,7 +883,7 @@ std::unique_ptr<STHoles> STHoles::Deserialize(const std::string& text,
     }
     if (depth == 0 || depth > path.size()) return nullptr;
 
-    auto bucket = std::make_unique<Bucket>();
+    auto bucket = std::make_shared<Bucket>();
     bucket->box = Box(std::move(lo), std::move(hi));
     bucket->frequency = frequency;
     Bucket* parent = path[depth - 1];
@@ -766,6 +901,156 @@ std::unique_ptr<STHoles> STHoles::Deserialize(const std::string& text,
   // trailing whitespace after the last bucket line is corruption.
   cursor += std::strspn(cursor, " \t\r\n");
   if (*cursor != '\0') return nullptr;
+  return hist;
+}
+
+// ---------------------------------------------------------------------------
+// Binary snapshot format (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+//
+// Layout (all integers little-endian, doubles as raw IEEE-754 bit patterns):
+//   header (24 bytes): magic "STHB" | u32 version | u64 payload_size
+//                      | u64 FNV-1a checksum of the payload
+//   payload: u32 dim | u64 bucket_count
+//            | bucket_count pre-order records of
+//              u32 depth | dim x (f64 lo, f64 hi) | f64 frequency
+// Records are fixed-size given dim, so payload_size is an exact function of
+// (dim, bucket_count) and any truncation or padding is a framing error.
+
+namespace {
+constexpr char kBinaryMagic[] = "STHB";
+}  // namespace
+
+std::string STHoles::SerializeBinary() const {
+  using binfmt::AppendF64;
+  using binfmt::AppendU32;
+  using binfmt::AppendU64;
+  const size_t dim = root_->box.dim();
+  std::string payload;
+  payload.reserve(12 + bucket_count_ * (4 + dim * 16 + 8));
+  AppendU32(&payload, static_cast<uint32_t>(dim));
+  AppendU64(&payload, bucket_count_);
+  std::vector<std::pair<const Bucket*, uint32_t>> stack = {{root_.get(), 0}};
+  while (!stack.empty()) {
+    auto [b, depth] = stack.back();
+    stack.pop_back();
+    AppendU32(&payload, depth);
+    for (size_t d = 0; d < dim; ++d) {
+      AppendF64(&payload, b->box.lo(d));
+      AppendF64(&payload, b->box.hi(d));
+    }
+    AppendF64(&payload, b->frequency);
+    for (auto it = b->children.rbegin(); it != b->children.rend(); ++it) {
+      stack.push_back({it->get(), depth + 1});
+    }
+  }
+  return binfmt::Frame(kBinaryMagic, kBinaryFormatVersion, payload);
+}
+
+StatusOr<std::unique_ptr<STHoles>> STHoles::DeserializeBinary(
+    std::string_view bytes, const STHolesConfig& config) {
+  using binfmt::ReadF64;
+  using binfmt::ReadU32;
+  using binfmt::ReadU64;
+  // Framing: every check fails closed before any payload byte is trusted.
+  StatusOr<std::string_view> framed =
+      binfmt::Unframe(kBinaryMagic, kBinaryFormatVersion, bytes);
+  if (!framed.ok()) return framed.status();
+  const std::string_view payload = *framed;
+  const uint64_t payload_size = payload.size();
+  if (payload_size < 12) {
+    return Status::InvalidArgument("snapshot payload shorter than its "
+                                   "dim/bucket-count preamble");
+  }
+  const uint32_t dim = ReadU32(payload.data());
+  const uint64_t buckets = ReadU64(payload.data() + 4);
+  if (dim == 0 || buckets == 0) {
+    return Status::InvalidArgument(
+        "snapshot declares zero dimensions or zero buckets");
+  }
+  // Records are fixed-size, so the payload length must match exactly; this
+  // also rejects headers whose claimed counts could not possibly fit,
+  // before anything allocates proportionally to them. record <= 2^36 + 12,
+  // and buckets is bounded by payload_size / record before the multiply, so
+  // nothing here can overflow.
+  const uint64_t record = 4ull + 16ull * dim + 8ull;
+  if (buckets > (payload_size - 12) / record ||
+      12 + buckets * record != payload_size) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "snapshot payload size inconsistent with dim=%u "
+                   "buckets=%llu",
+                   dim, static_cast<unsigned long long>(buckets));
+  }
+
+  const char* cursor = payload.data() + 12;
+  std::unique_ptr<STHoles> hist;
+  std::vector<Bucket*> path;  // path[i] = last bucket seen at depth i.
+  for (uint64_t line = 0; line < buckets; ++line) {
+    const uint32_t depth = ReadU32(cursor);
+    cursor += 4;
+    std::vector<double> lo(dim), hi(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      lo[d] = ReadF64(cursor);
+      hi[d] = ReadF64(cursor + 8);
+      cursor += 16;
+      if (!std::isfinite(lo[d]) || !std::isfinite(hi[d]) || lo[d] > hi[d]) {
+        return StatusF(StatusCode::kInvalidArgument,
+                       "snapshot bucket %llu has a non-finite or inverted "
+                       "bound in dimension %u",
+                       static_cast<unsigned long long>(line), d);
+      }
+    }
+    const double frequency = ReadF64(cursor);
+    cursor += 8;
+    if (!std::isfinite(frequency) || frequency < 0.0) {
+      return StatusF(StatusCode::kInvalidArgument,
+                     "snapshot bucket %llu has a non-finite or negative "
+                     "frequency",
+                     static_cast<unsigned long long>(line));
+    }
+
+    if (line == 0) {
+      if (depth != 0) {
+        return Status::InvalidArgument("snapshot root bucket is not depth 0");
+      }
+      Box domain(std::move(lo), std::move(hi));
+      if (domain.Volume() <= 0.0) {
+        return Status::InvalidArgument("snapshot domain has zero volume");
+      }
+      hist = std::unique_ptr<STHoles>(new STHoles(domain, frequency, config));
+      path = {hist->root_.get()};
+      continue;
+    }
+    if (depth == 0 || depth > path.size()) {
+      return StatusF(StatusCode::kInvalidArgument,
+                     "snapshot bucket %llu has out-of-order depth %u",
+                     static_cast<unsigned long long>(line), depth);
+    }
+    auto bucket = std::make_shared<Bucket>();
+    bucket->box = Box(std::move(lo), std::move(hi));
+    bucket->frequency = frequency;
+    Bucket* parent = path[depth - 1];
+    if (!parent->box.Contains(bucket->box)) {
+      return StatusF(StatusCode::kInvalidArgument,
+                     "snapshot bucket %llu escapes its parent",
+                     static_cast<unsigned long long>(line));
+    }
+    for (const auto& sibling : parent->children) {
+      if (sibling->box.Intersects(bucket->box)) {
+        return StatusF(StatusCode::kInvalidArgument,
+                       "snapshot bucket %llu overlaps a sibling",
+                       static_cast<unsigned long long>(line));
+      }
+    }
+    Bucket* raw = bucket.get();
+    parent->children.push_back(std::move(bucket));
+    ++hist->bucket_count_;
+    path.resize(depth);
+    path.push_back(raw);
+  }
+  // The exact-size check above means the cursor lands precisely on the end;
+  // nothing can trail.
+  STHIST_DCHECK(cursor == payload.data() + payload.size());
   return hist;
 }
 

@@ -1,10 +1,14 @@
 #ifndef STHIST_HISTOGRAM_STHOLES_H_
 #define STHIST_HISTOGRAM_STHOLES_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/box.h"
+#include "core/status.h"
 #include "histogram/histogram.h"
 #include "obs/metrics.h"
 
@@ -76,9 +80,19 @@ class STHoles : public Histogram {
   /// Estimates of the clone are bitwise-identical to the source's (same
   /// frequencies, boxes, and child order, so the same floating-point
   /// expressions evaluate); the clone's bucket index starts cold and is
-  /// rebuilt lazily on its own estimates. This is the snapshot hook the
-  /// serving layer publishes through (DESIGN.md §11).
+  /// rebuilt lazily on its own estimates. Shares no structure with the
+  /// source — the fully independent copy, as opposed to Snapshot().
   std::unique_ptr<Histogram> Clone() const override;
+
+  /// O(1) copy-on-write snapshot (DESIGN.md §17): the snapshot shares the
+  /// entire bucket tree with this histogram, and subsequent Refine calls
+  /// path-copy only the buckets they touch (checking each node's reference
+  /// count on the way down), so the snapshot keeps answering exactly what
+  /// this histogram answered at the moment of the call — bitwise-identical
+  /// to a deep Clone() taken at the same moment, which
+  /// tests/cow_tree_test.cc enforces. This is the publish primitive the
+  /// serving layer uses; publish cost no longer scales with bucket count.
+  std::shared_ptr<const Histogram> Snapshot() const override;
 
   /// Degradation counters accumulated since construction.
   RobustnessStats robustness() const override;
@@ -116,10 +130,44 @@ class STHoles : public Histogram {
   static std::unique_ptr<STHoles> Deserialize(const std::string& text,
                                               const STHolesConfig& config);
 
+  /// Version of the binary snapshot format SerializeBinary emits.
+  /// DeserializeBinary accepts exactly this version and rejects everything
+  /// else with a diagnostic naming both versions (DESIGN.md §17 spells out
+  /// the version-evolution policy: bump on any layout change, never reuse).
+  static constexpr uint32_t kBinaryFormatVersion = 1;
+
+  /// Serializes the bucket tree to the versioned binary snapshot format:
+  /// a 24-byte header (magic "STHB", format version, payload size, FNV-1a
+  /// payload checksum) followed by the pre-order bucket records with raw
+  /// IEEE-754 doubles, so estimates round-trip bit-exactly. This is the
+  /// persistence layer behind warm restarts (DESIGN.md §17).
+  std::string SerializeBinary() const override;
+
+  /// Reconstructs a histogram from SerializeBinary() output, failing closed:
+  /// every framing violation (bad magic, wrong version, size mismatch,
+  /// checksum mismatch, truncation) and every payload violation (non-finite
+  /// bounds or frequencies, children escaping parents, overlapping siblings,
+  /// trailing bytes) returns an error Status — never a crash, never a
+  /// histogram that only partially decoded (tests/serialize_fuzz_test.cc
+  /// holds this under corpus + mutation fuzz).
+  static StatusOr<std::unique_ptr<STHoles>> DeserializeBinary(
+      std::string_view bytes, const STHolesConfig& config);
+
   /// Validates structural invariants (children nested in parents, sibling
   /// interiors disjoint, non-negative frequencies). Aborts on violation;
   /// used by tests and fuzzing.
   void CheckInvariants() const;
+
+  /// TEST-ONLY introspection of the COW machinery (tests/cow_tree_test.cc).
+  /// Nodes of this tree (root included) physically shared with at least one
+  /// outstanding snapshot: a node counts when its owning handle has
+  /// use_count > 1 or any ancestor's does (a path copy duplicates only the
+  /// subtree root's handle, so sharing is transitive). O(n).
+  size_t SharedNodeCount() const;
+  /// Cumulative nodes path-copied by refinement since construction; the
+  /// delta across one Refine is bounded by the buckets the query intersected
+  /// (the touched path), which the test battery checks independently.
+  size_t CowCopiedNodes() const { return cow_copied_total_; }
 
  protected:
   /// Batch amortization (base-class hook): builds the bucket index once up
@@ -156,13 +204,37 @@ class STHoles : public Histogram {
     obs::Counter flat_probes;
     obs::Counter flat_entry_blocks;
     obs::Gauge flat_simd_level;
+    // COW publish accounting (DESIGN.md §17): nodes path-copied by refines,
+    // snapshots taken, and how much of the tree the latest snapshot shares
+    // with its predecessor (total nodes minus nodes copied in between).
+    obs::Counter cow_copied;
+    obs::Counter cow_snapshots;
+    obs::Gauge cow_shared;
     obs::TraceRing* ring = nullptr;
   };
 
   // Deep copy of a bucket subtree, preserving child order (estimation sums
   // in child order, so order preservation is what makes clone estimates
   // bitwise equal to the source's).
-  static std::unique_ptr<Bucket> CopySubtree(const Bucket& b);
+  static std::shared_ptr<Bucket> CopySubtree(const Bucket& b);
+
+  // --- Copy-on-write plumbing (DESIGN.md §17) ---
+  // One-level copy: duplicates the node's scalar state and its *handles* to
+  // the children (bumping their reference counts), leaving every child
+  // subtree shared. The building block of path copying.
+  static std::shared_ptr<Bucket> ShallowCopy(const Bucket& b);
+  // Replace a shared root / child handle with an exclusive shallow copy;
+  // no-ops (returning the existing node) when the handle is already
+  // exclusive. Any actual copy stales the bucket index (its refs point at
+  // the superseded nodes) and counts toward the cow metrics.
+  Bucket* EnsureExclusiveRoot();
+  Bucket* EnsureExclusiveChild(Bucket* parent, size_t slot);
+  // Unshares the whole spine from the root down to `target` (found by
+  // pointer identity) and returns target's possibly-copied successor.
+  // Precondition: target is a node of this tree.
+  Bucket* UnsharePathTo(Bucket* target);
+  static bool FindPath(const Bucket* node, const Bucket* target,
+                       std::vector<size_t>* slots);
 
   // --- Geometry over the bucket tree ---
   // Volume of the bucket's region (box minus child boxes).
@@ -175,7 +247,10 @@ class STHoles : public Histogram {
 
   // --- Refinement ---
   // Collects every bucket whose box has positive-volume intersection with
-  // `query`, in pre-order.
+  // `query`, in pre-order, unsharing each collected node on the way down
+  // (the intersecting set is upward-closed — a child's box is nested in its
+  // parent's — so this descent is exactly the touched spine COW must copy,
+  // and every pointer returned is exclusively owned by this tree).
   void CollectIntersecting(Bucket* b, const Box& query,
                            std::vector<Bucket*>* out);
   // Shrinks candidate = query ∩ box(b) until no child of b partially
@@ -215,8 +290,22 @@ class STHoles : public Histogram {
 
   STHolesConfig config_;
   Metrics metrics_;
-  std::unique_ptr<Bucket> root_;
+  // Owning handle of the bucket tree. shared_ptr because Snapshot() shares
+  // the whole tree with published snapshots; refinement re-establishes
+  // exclusive ownership of whatever it touches via path copying, checking
+  // use_count() per node. That check can race only with snapshot
+  // *destruction* (other threads never add references to interior nodes), so
+  // a stale read over-copies at worst — never mutates a shared node.
+  std::shared_ptr<Bucket> root_;
   size_t bucket_count_ = 0;  // Including root.
+  // COW accounting: lifetime path-copies, and nodes materialized since the
+  // last Snapshot() — path copies plus freshly drilled/merged buckets, i.e.
+  // everything the next snapshot will NOT share with its predecessor (what
+  // the cow_shared gauge derives from). Mutable because Snapshot() is const
+  // yet closes the per-publish window; both are touched only under the
+  // refiner's exclusive-Refine contract.
+  size_t cow_copied_total_ = 0;
+  mutable size_t fresh_since_snapshot_ = 0;
   // Refine-path degradation counters; Estimate-path rejections live in
   // IndexState as an atomic (Estimate may run concurrently via
   // EstimateBatch) and are merged in robustness().

@@ -7,6 +7,7 @@
 #include "core/check.h"
 #include "histogram/stholes.h"
 #include "histogram/trivial.h"
+#include "serve/snapshot_io.h"
 
 namespace sthist {
 
@@ -58,6 +59,9 @@ HistogramService::HistogramService(std::unique_ptr<Histogram> initial,
   queue_depth_ = registry_->gauge("serve.service.queue_depth");
   staleness_ = registry_->gauge("serve.service.staleness");
   publish_seconds_ = registry_->latency("serve.service.publish_seconds");
+  snapshot_saves_ = registry_->counter("serve.snapshot.saves");
+  snapshot_bytes_ = registry_->gauge("serve.snapshot.bytes");
+  snapshot_save_seconds_ = registry_->latency("serve.snapshot.save_seconds");
 
   if (config_.faults.rate > 0.0) {
     refiner_faults_ =
@@ -93,7 +97,9 @@ HistogramService::HistogramService(std::unique_ptr<Histogram> initial,
     rebuild_seconds_ = registry_->latency("serve.reinit.rebuild_seconds");
   }
 
-  std::shared_ptr<const Histogram> first(working_->Clone());
+  std::shared_ptr<const Histogram> first = config_.clone_publish
+                                               ? working_->Clone()
+                                               : working_->Snapshot();
   STHIST_CHECK_MSG(first != nullptr,
                    "HistogramService needs a histogram supporting Clone()");
   snapshot_.store(std::move(first));
@@ -328,26 +334,66 @@ bool HistogramService::CompleteSwap() {
 
 void HistogramService::Publish() {
   auto start = std::chrono::steady_clock::now();
-  std::shared_ptr<const Histogram> snap(working_->Clone());
+  // The COW snapshot is O(touched path) — the per-publish deep clone this
+  // replaces was the publish-cadence ceiling (ROADMAP item 1); clone_publish
+  // keeps the old path selectable for benches and as an escape hatch.
+  std::shared_ptr<const Histogram> snap = config_.clone_publish
+                                              ? working_->Clone()
+                                              : working_->Snapshot();
   STHIST_CHECK(snap != nullptr);
-  snapshot_.store(std::move(snap));
-  publishes_.Inc();
-  const size_t applied_now = applied_.value();
-  published_feedback_.store(applied_now, std::memory_order_relaxed);
-  const size_t accepted_now = accepted_.value();
-  staleness_.Set(static_cast<double>(
-      accepted_now > applied_now ? accepted_now - applied_now : 0));
-  queue_depth_.Set(static_cast<double>(queue_.size()));
   double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   publish_seconds_.Observe(seconds);
   {
+    // Snapshot pointer and watermark move together under the publish lock:
+    // anyone who observes the watermark under this mutex (Drain's predicate,
+    // SaveSnapshot's paired read) is therefore guaranteed to also observe
+    // the snapshot it describes. Publishing the pointer outside the lock let
+    // a post-Drain SaveSnapshot watch the watermark advance yet read the
+    // previous epoch's snapshot — the §17 barrier bug.
     std::lock_guard<std::mutex> lock(publish_mutex_);
+    snapshot_.store(std::move(snap));
+    publishes_.Inc();
+    const size_t applied_now = applied_.value();
+    published_feedback_.store(applied_now, std::memory_order_relaxed);
+    const size_t accepted_now = accepted_.value();
+    staleness_.Set(static_cast<double>(
+        accepted_now > applied_now ? accepted_now - applied_now : 0));
+    queue_depth_.Set(static_cast<double>(queue_.size()));
     last_publish_seconds_ = seconds;
     if (seconds > max_publish_seconds_) max_publish_seconds_ = seconds;
   }
   publish_cv_.notify_all();
+}
+
+Status HistogramService::SaveSnapshot(const std::string& path) const {
+  const auto start = std::chrono::steady_clock::now();
+  snapshot_io::ServiceSnapshot out;
+  std::shared_ptr<const Histogram> snap;
+  {
+    // Paired read: this watermark describes exactly this snapshot (see the
+    // publish barrier above). Only the two pointer-sized reads happen under
+    // the lock; serialization runs on the caller's thread afterwards.
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    snap = snapshot_.load();
+    out.applied_feedback = config_.restored_feedback +
+                           published_feedback_.load(std::memory_order_relaxed);
+  }
+  out.histogram = snap->SerializeBinary();
+  if (out.histogram.empty()) {
+    return Status::InvalidArgument(
+        "served histogram does not support binary snapshots "
+        "(SerializeBinary returned empty)");
+  }
+  const std::string bytes = snapshot_io::EncodeServiceSnapshot(out);
+  STHIST_RETURN_IF_ERROR(snapshot_io::WriteFileAtomic(path, bytes));
+  snapshot_saves_.Inc();
+  snapshot_bytes_.Set(static_cast<double>(bytes.size()));
+  snapshot_save_seconds_.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return Status::Ok();
 }
 
 Status HistogramService::Drain() {

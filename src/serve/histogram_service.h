@@ -100,6 +100,20 @@ struct ServiceConfig {
   /// concurrency, 1 = inline), forwarded to Histogram::EstimateBatch.
   size_t estimate_threads = 1;
 
+  /// true: publish deep clones (Histogram::Clone) instead of copy-on-write
+  /// snapshots (Histogram::Snapshot) — the pre-§17 behavior, kept as an
+  /// escape hatch and for bench head-to-head comparison. The published
+  /// estimates are bitwise-identical either way; only publish cost and
+  /// refiner path-copy overhead differ.
+  bool clone_publish = false;
+
+  /// Feedback items already baked into the initial histogram by a previous
+  /// incarnation of this service (the applied_feedback watermark of the
+  /// snapshot it was restored from, 0 for a cold start). SaveSnapshot adds
+  /// it to the local applied count, so a save→restore→save chain keeps the
+  /// watermark cumulative over the whole feedback history.
+  size_t restored_feedback = 0;
+
   /// Registry receiving the serve.service.* metrics (DESIGN.md §13). Null
   /// means the process-wide obs::GlobalMetrics(). The service's own counters
   /// (stats()) are these same cells, so when the chosen registry is a
@@ -279,6 +293,18 @@ class HistogramService {
   /// subsequent SubmitFeedback calls are shed. Idempotent.
   void Stop();
 
+  /// Persists the current published snapshot and its applied-feedback
+  /// watermark to `path` as a versioned binary "STHS" container (DESIGN.md
+  /// §17), written atomically (temp file + rename). The pair is read under
+  /// the publish lock, so the watermark always describes exactly the
+  /// histogram saved — after Drain() this is the full accepted feedback
+  /// history, which warm restart (RestoreService / sthist_cli serve-sim
+  /// --restore) uses to resume a deterministic feedback stream bit-exactly.
+  /// Fails with a Status when the histogram does not support SerializeBinary
+  /// or the file cannot be written; never blocks readers or the refiner
+  /// beyond the pointer read.
+  Status SaveSnapshot(const std::string& path) const;
+
   /// Current counters (see ServiceStats for the consistency caveat). The
   /// values are read back from the serve.service.* / serve.reinit.* metric
   /// cells — ServiceStats is a typed view over the registry, not a parallel
@@ -353,6 +379,11 @@ class HistogramService {
   obs::Gauge queue_depth_;
   obs::Gauge staleness_;
   obs::LatencyHistogram publish_seconds_;
+
+  // serve.snapshot.* handles (persistence, DESIGN.md §17).
+  obs::Counter snapshot_saves_;
+  obs::Gauge snapshot_bytes_;
+  obs::LatencyHistogram snapshot_save_seconds_;
 
   // serve.reinit.* handles (registered only when re-init is enabled).
   obs::Counter reinit_triggers_;

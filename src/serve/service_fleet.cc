@@ -6,6 +6,7 @@
 
 #include "core/check.h"
 #include "core/rng.h"
+#include "serve/snapshot_io.h"
 
 namespace sthist {
 
@@ -76,6 +77,9 @@ ServiceFleet::ServiceFleet(const FleetConfig& config) : config_(config) {
   shard_runs_ = registry_->counter("serve.fleet.shard_runs");
   queue_depth_ = registry_->gauge("serve.fleet.queue_depth");
   publish_seconds_ = registry_->latency("serve.fleet.publish_seconds");
+  snapshot_saves_ = registry_->counter("serve.snapshot.saves");
+  snapshot_bytes_ = registry_->gauge("serve.snapshot.bytes");
+  snapshot_save_seconds_ = registry_->latency("serve.snapshot.save_seconds");
 
   pool_ = std::make_unique<ThreadPool>(config_.refiners, registry_);
 }
@@ -95,7 +99,10 @@ Status ServiceFleet::AddTenant(std::string_view key,
   if (initial == nullptr) {
     return Status::InvalidArgument("tenant histogram must be non-null");
   }
-  std::shared_ptr<const Histogram> first(initial->Clone());
+  std::shared_ptr<const Histogram> first =
+      config_.clone_publish
+          ? std::shared_ptr<const Histogram>(initial->Clone())
+          : initial->Snapshot();
   if (first == nullptr) {
     return StatusF(StatusCode::kInvalidArgument,
                    "tenant '%.*s' needs a histogram supporting Clone()",
@@ -327,13 +334,22 @@ void ServiceFleet::RunShard(const std::shared_ptr<Shard>& shard) {
 
 void ServiceFleet::PublishShard(Shard* shard) {
   const auto start = std::chrono::steady_clock::now();
-  std::shared_ptr<const Histogram> snap(shard->working->Clone());
+  // COW snapshot by default (O(touched path), DESIGN.md §17); the deep
+  // clone stays selectable for benches and as an escape hatch.
+  std::shared_ptr<const Histogram> snap = config_.clone_publish
+                                              ? shard->working->Clone()
+                                              : shard->working->Snapshot();
   STHIST_CHECK(snap != nullptr);
+  // Timed like HistogramService::Publish: the latency of *making* the
+  // publishable snapshot. The store below also releases the previous
+  // epoch's snapshot, and that teardown (the COW path's stale spine copies)
+  // is refiner-thread cleanup, not part of the reader-visible handoff.
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   shard->snapshot.store(std::move(snap));
   publishes_.Inc();
-  publish_seconds_.Observe(
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count());
+  publish_seconds_.Observe(seconds);
 }
 
 void ServiceFleet::NotifyDrain() {
@@ -404,6 +420,44 @@ void ServiceFleet::Stop() {
   }
   pool_->Wait();
   NotifyDrain();
+}
+
+Status ServiceFleet::SaveSnapshot(const std::string& path) const {
+  const auto start = std::chrono::steady_clock::now();
+  snapshot_io::FleetSnapshot out;
+  out.seed = config_.seed;
+  // Grab the snapshot handles under the shared lock (pointer reads only),
+  // then serialize lock-free — each handle is a frozen epoch, so readers and
+  // refiners keep running while the encode does its O(total buckets) work.
+  std::vector<std::pair<std::string, std::shared_ptr<const Histogram>>> snaps;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mutex_);
+    snaps.reserve(shards_.size());
+    for (const auto& [key, shard] : shards_) {
+      snaps.emplace_back(key, shard->snapshot.load());
+    }
+  }
+  std::sort(snaps.begin(), snaps.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.tenants.reserve(snaps.size());
+  for (auto& [key, snap] : snaps) {
+    std::string blob = snap->SerializeBinary();
+    if (blob.empty()) {
+      return StatusF(StatusCode::kInvalidArgument,
+                     "tenant '%s' does not support binary snapshots "
+                     "(SerializeBinary returned empty)",
+                     key.c_str());
+    }
+    out.tenants.emplace_back(std::move(key), std::move(blob));
+  }
+  const std::string bytes = snapshot_io::EncodeFleetSnapshot(out);
+  STHIST_RETURN_IF_ERROR(snapshot_io::WriteFileAtomic(path, bytes));
+  snapshot_saves_.Inc();
+  snapshot_bytes_.Set(static_cast<double>(bytes.size()));
+  snapshot_save_seconds_.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return Status::Ok();
 }
 
 FleetStats ServiceFleet::stats() const {

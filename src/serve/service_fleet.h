@@ -43,6 +43,11 @@ struct FleetConfig {
   /// Threads for EstimateBatch on a shard snapshot (1 = inline).
   size_t estimate_threads = 1;
 
+  /// true: publish deep clones instead of copy-on-write snapshots — same
+  /// escape hatch as ServiceConfig::clone_publish; estimates are
+  /// bitwise-identical either way.
+  bool clone_publish = false;
+
   /// Base seed of the fleet's deterministic tenant hashing: TenantId(key) is
   /// a pure function of (seed, key), so shard identities — and everything a
   /// driver derives from them (per-tenant workload seeds in fleet-sim and
@@ -203,6 +208,17 @@ class ServiceFleet {
   /// snapshots; subsequent feedback is shed, AddTenant refuses. Idempotent.
   void Stop();
 
+  /// Persists every tenant's current snapshot (plus the fleet seed) to
+  /// `path` as a versioned binary "STHF" container, written atomically —
+  /// the replica hand-off / warm-restart primitive (DESIGN.md §17). Tenants
+  /// are saved in sorted key order, each as its histogram's
+  /// SerializeBinary() blob. Each tenant's snapshot is internally consistent
+  /// (an atomic epoch), but the cut across tenants is only as consistent as
+  /// the caller makes it: call Drain() first for a fleet-wide consistent
+  /// cut. Fails with a Status if any tenant's histogram does not support
+  /// binary snapshots or the file cannot be written.
+  Status SaveSnapshot(const std::string& path) const;
+
   /// Aggregate counters (see FleetStats for the consistency caveat). Typed
   /// view over the serve.fleet.* registry cells.
   FleetStats stats() const;
@@ -294,6 +310,12 @@ class ServiceFleet {
   obs::Counter shard_runs_;
   obs::Gauge queue_depth_;
   obs::LatencyHistogram publish_seconds_;
+
+  // serve.snapshot.* handles (persistence, DESIGN.md §17); same cell names
+  // as HistogramService's, so a process saving through both aggregates.
+  obs::Counter snapshot_saves_;
+  obs::Gauge snapshot_bytes_;
+  obs::LatencyHistogram snapshot_save_seconds_;
 
   std::mutex drain_mutex_;
   std::condition_variable drain_cv_;

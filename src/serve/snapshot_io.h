@@ -1,0 +1,72 @@
+#ifndef STHIST_SERVE_SNAPSHOT_IO_H_
+#define STHIST_SERVE_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+/// \file
+/// Versioned binary snapshot containers for the serving layer (DESIGN.md
+/// §17), layered over the same frame primitive as the STHoles bucket blob
+/// (core/binfmt.h):
+///
+///   "STHS" — one HistogramService: the applied-feedback watermark plus the
+///            published histogram's "STHB" blob. The watermark is what warm
+///            restart needs to resume a deterministic feedback stream where
+///            the saved run left off.
+///   "STHF" — one ServiceFleet: the fleet seed plus every tenant's key and
+///            histogram blob, in the iteration order of the save.
+///
+/// The nested histogram blobs stay opaque here — they carry their own frame
+/// and are decoded by STHoles::DeserializeBinary, so corruption inside a
+/// tenant's payload is caught by that layer even though this one's checksum
+/// would already have flagged it. Every decode fails closed with a Status.
+
+namespace sthist {
+namespace snapshot_io {
+
+/// Version of the service/fleet container formats. Evolution policy
+/// (DESIGN.md §17): any layout change bumps this, old numbers are never
+/// reused, and readers reject mismatches naming both versions.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// One service's persisted state.
+struct ServiceSnapshot {
+  /// Feedback items the refiner had applied and published when the snapshot
+  /// was cut (the Drain barrier makes this exact, DESIGN.md §17).
+  uint64_t applied_feedback = 0;
+  /// The published histogram's SerializeBinary() blob.
+  std::string histogram;
+};
+
+std::string EncodeServiceSnapshot(const ServiceSnapshot& snapshot);
+StatusOr<ServiceSnapshot> DecodeServiceSnapshot(std::string_view bytes);
+
+/// One fleet's persisted state: per-tenant histogram blobs keyed by the
+/// caller-visible tenant key.
+struct FleetSnapshot {
+  /// FleetConfig::seed of the saved fleet; restore must reuse it so tenant
+  /// ids and shard routing reproduce.
+  uint64_t seed = 0;
+  std::vector<std::pair<std::string, std::string>> tenants;
+};
+
+std::string EncodeFleetSnapshot(const FleetSnapshot& snapshot);
+StatusOr<FleetSnapshot> DecodeFleetSnapshot(std::string_view bytes);
+
+/// Writes `bytes` to `path` atomically: a unique temp file in the same
+/// directory, then rename over the target — a reader (or a crash) sees the
+/// old file or the new one, never a torn prefix.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+/// Reads the whole file. kNotFound when it does not exist.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+}  // namespace snapshot_io
+}  // namespace sthist
+
+#endif  // STHIST_SERVE_SNAPSHOT_IO_H_

@@ -32,6 +32,7 @@
 #include "clustering/clusterer.h"
 #include "clustering/doc.h"
 #include "clustering/mineclus.h"
+#include "core/binfmt.h"
 #include "core/rng.h"
 #include "core/status.h"
 #include "core/thread_pool.h"
@@ -46,6 +47,7 @@
 #include "obs/metrics.h"
 #include "serve/histogram_service.h"
 #include "serve/service_fleet.h"
+#include "serve/snapshot_io.h"
 #include "testing/fault_injection.h"
 #include "workload/drift.h"
 #include "workload/query.h"
@@ -290,6 +292,16 @@ StatusOr<std::vector<size_t>> ParseSizeList(const std::string& text) {
   return values;
 }
 
+// Folds the little-endian bytes of `value` into an FNV-1a digest.
+void FoldDigest(uint64_t value, uint64_t* digest) {
+  for (int byte = 0; byte < 8; ++byte) {
+    *digest ^= (value >> (8 * byte)) & 0xffu;
+    *digest *= 1099511628211ULL;
+  }
+}
+
+constexpr uint64_t kDigestSeed = 1469598103934665603ULL;  // FNV offset basis.
+
 // ---------------------------------------------------------------------------
 // Subcommands
 // ---------------------------------------------------------------------------
@@ -527,6 +539,151 @@ Status RunInspect(const Flags& flags) {
   return Status::Ok();
 }
 
+// ---------------------------------------------------------------------------
+// snapshot save/load/verify: versioned binary snapshot files (DESIGN.md §17).
+// ---------------------------------------------------------------------------
+
+// `snapshot save`: train an STHoles histogram exactly like `inspect` does,
+// then persist its versioned binary blob ("STHB") atomically. The printed
+// digest is FNV-1a over the file bytes, so two saves agree iff the files do.
+Status RunSnapshotSave(const Flags& flags) {
+  STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
+      {STHIST_COMMON_FLAGS, STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS,
+       "buckets", "train", "volume", "init", "out"}));
+  std::string out = flags.Str("out", "");
+  if (out.empty()) {
+    return Status::InvalidArgument("snapshot save requires --out <file>");
+  }
+  StatusOr<GeneratedData> g = ResolveDataset(flags);
+  if (!g.ok()) return g.status();
+  Experiment experiment(*std::move(g));
+
+  STHolesConfig hc;
+  hc.max_buckets = flags.Size("buckets", 100);
+  STHoles hist(experiment.domain(), experiment.total_tuples(), hc);
+  if (flags.Has("init")) {
+    InitializeHistogram(experiment.Clusters(MineClusFromFlags(flags)),
+                        experiment.domain(), experiment.executor(),
+                        InitializerConfig{}, &hist);
+  }
+  ExperimentConfig wc_config;
+  wc_config.train_queries = flags.Size("train", 200);
+  wc_config.sim_queries = 1;
+  wc_config.volume_fraction = flags.Num("volume", 0.01);
+  auto [train, sim] = experiment.MakeWorkloads(wc_config);
+  for (const Box& q : train) hist.Refine(q, experiment.executor());
+
+  const std::string blob = hist.SerializeBinary();
+  STHIST_RETURN_IF_ERROR(snapshot_io::WriteFileAtomic(out, blob));
+  std::printf("wrote %s: %zu buckets, %zu bytes, digest %016llx\n",
+              out.c_str(), hist.bucket_count(), blob.size(),
+              static_cast<unsigned long long>(binfmt::Fnv1a(blob)));
+  return Status::Ok();
+}
+
+// `snapshot load` / `snapshot verify`: decode a snapshot file through every
+// layer it contains, dispatching on the magic ("STHB" histogram blob, "STHS"
+// service container, "STHF" fleet container). Any framing or payload
+// violation surfaces as the decoder's Status (exit 1) — this is the
+// command-line face of the fail-closed contract the fuzz tests hold. load
+// prints a table of the contents; verify prints one OK line for scripts.
+Status RunSnapshotLoad(const Flags& flags, bool verify_only) {
+  STHIST_RETURN_IF_ERROR(
+      flags.CheckAllowed({STHIST_COMMON_FLAGS, "in", "buckets"}));
+  std::string path = flags.Str("in", "");
+  if (path.empty()) {
+    return Status::InvalidArgument(
+        std::string("snapshot ") + (verify_only ? "verify" : "load") +
+        " requires --in <file>");
+  }
+  StatusOr<std::string> bytes = snapshot_io::ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  if (bytes->size() < 4) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "%s: %zu bytes is too short to hold a snapshot magic",
+                   path.c_str(), bytes->size());
+  }
+  // The bucket budget only matters if the loaded histogram is refined
+  // further; decoding never merges, so any value is safe here.
+  STHolesConfig hc;
+  hc.max_buckets = flags.Size("buckets", hc.max_buckets);
+  const unsigned long long file_digest =
+      static_cast<unsigned long long>(binfmt::Fnv1a(*bytes));
+
+  std::string kind(bytes->data(), 4);
+  if (kind == "STHB") {
+    StatusOr<std::unique_ptr<STHoles>> hist =
+        STHoles::DeserializeBinary(*bytes, hc);
+    if (!hist.ok()) return hist.status();
+    if (verify_only) {
+      std::printf("snapshot OK: histogram, %zu buckets, digest %016llx\n",
+                  (*hist)->bucket_count(), file_digest);
+      return Status::Ok();
+    }
+    TablePrinter table({"field", "value"});
+    table.AddRow({"kind", "histogram (STHB)"});
+    table.AddRow({"buckets", FormatSize((*hist)->bucket_count())});
+    table.AddRow({"file bytes", FormatSize(bytes->size())});
+    table.Print();
+  } else if (kind == "STHS") {
+    StatusOr<snapshot_io::ServiceSnapshot> snap =
+        snapshot_io::DecodeServiceSnapshot(*bytes);
+    if (!snap.ok()) return snap.status();
+    StatusOr<std::unique_ptr<STHoles>> hist =
+        STHoles::DeserializeBinary(snap->histogram, hc);
+    if (!hist.ok()) return hist.status();
+    if (verify_only) {
+      std::printf(
+          "snapshot OK: service, %zu buckets, %llu feedback applied, "
+          "digest %016llx\n",
+          (*hist)->bucket_count(),
+          static_cast<unsigned long long>(snap->applied_feedback),
+          file_digest);
+      return Status::Ok();
+    }
+    TablePrinter table({"field", "value"});
+    table.AddRow({"kind", "service (STHS)"});
+    table.AddRow({"buckets", FormatSize((*hist)->bucket_count())});
+    table.AddRow({"feedback applied",
+                  FormatSize(static_cast<size_t>(snap->applied_feedback))});
+    table.AddRow({"file bytes", FormatSize(bytes->size())});
+    table.Print();
+  } else if (kind == "STHF") {
+    StatusOr<snapshot_io::FleetSnapshot> snap =
+        snapshot_io::DecodeFleetSnapshot(*bytes);
+    if (!snap.ok()) return snap.status();
+    size_t total_buckets = 0;
+    for (const auto& [key, blob] : snap->tenants) {
+      StatusOr<std::unique_ptr<STHoles>> hist =
+          STHoles::DeserializeBinary(blob, hc);
+      if (!hist.ok()) {
+        return StatusF(StatusCode::kInvalidArgument, "tenant '%s': %s",
+                       key.c_str(), hist.status().message().c_str());
+      }
+      total_buckets += (*hist)->bucket_count();
+    }
+    if (verify_only) {
+      std::printf(
+          "snapshot OK: fleet, %zu tenants, %zu buckets, digest %016llx\n",
+          snap->tenants.size(), total_buckets, file_digest);
+      return Status::Ok();
+    }
+    TablePrinter table({"field", "value"});
+    table.AddRow({"kind", "fleet (STHF)"});
+    table.AddRow({"tenants", FormatSize(snap->tenants.size())});
+    table.AddRow({"total buckets", FormatSize(total_buckets)});
+    table.AddRow({"seed", FormatSize(static_cast<size_t>(snap->seed))});
+    table.AddRow({"file bytes", FormatSize(bytes->size())});
+    table.Print();
+  } else {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "%s: unrecognized snapshot magic \"%.4s\"", path.c_str(),
+                   bytes->data());
+  }
+  std::printf("digest %016llx\n", file_digest);
+  return Status::Ok();
+}
+
 // Drift-mode serving simulation (`serve-sim --drift <scenario>`): a
 // deterministic replay driver streams a DriftSchedule's phases through the
 // service (estimate, then feedback) while optional read-only probe threads
@@ -732,6 +889,151 @@ Status RunServeSimDrift(const Flags& flags) {
   return Status::Ok();
 }
 
+// Deterministic serve-sim replay (`serve-sim --pace P`, `--snapshot FILE`,
+// `--snapshot-every N`, `--restore FILE`): a single driver thread streams the
+// simulation workload through the service in FIFO order, draining every
+// `pace` submissions, so the final snapshot — and the "serve digest" printed
+// at the end — is a pure function of the flags. `--snapshot-every N` cuts a
+// Drain-barriered STHS snapshot every N queries; `--restore FILE` starts
+// from such a snapshot instead of pre-training and skips the queries its
+// watermark says were already applied. Because refinement consumes only the
+// executed queries (never the served estimates), a restored run replays to
+// the bit-identical digest of the uninterrupted run — the warm-restart
+// contract CI's crash-recovery smoke and tests/snapshot_persist_test.cc
+// hold. The restored run must use the same dataset/workload/bucket flags as
+// the saved one; only --restore and the snapshot flags may differ.
+Status RunServeSimReplay(const Flags& flags) {
+  StatusOr<GeneratedData> g = ResolveDataset(flags);
+  if (!g.ok()) return g.status();
+  Experiment experiment(*std::move(g));
+
+  const size_t total_queries = flags.Size("queries", 20000);
+  if (total_queries == 0) {
+    return Status::InvalidArgument("--queries must be > 0");
+  }
+
+  STHolesConfig hc;
+  hc.max_buckets = flags.Size("buckets", 100);
+  std::unique_ptr<STHoles> hist;
+  size_t skip = 0;  // Queries already baked into the restored histogram.
+  if (flags.Has("restore")) {
+    const std::string from = flags.Str("restore", "");
+    StatusOr<std::string> bytes = snapshot_io::ReadFile(from);
+    if (!bytes.ok()) return bytes.status();
+    StatusOr<snapshot_io::ServiceSnapshot> snap =
+        snapshot_io::DecodeServiceSnapshot(*bytes);
+    if (!snap.ok()) return snap.status();
+    StatusOr<std::unique_ptr<STHoles>> restored =
+        STHoles::DeserializeBinary(snap->histogram, hc);
+    if (!restored.ok()) return restored.status();
+    hist = *std::move(restored);
+    skip = static_cast<size_t>(snap->applied_feedback);
+    std::fprintf(stderr,
+                 "restored %s: %zu buckets, resuming after %zu queries\n",
+                 from.c_str(), hist->bucket_count(), skip);
+  } else {
+    hist = std::make_unique<STHoles>(experiment.domain(),
+                                     experiment.total_tuples(), hc);
+    if (flags.Has("init")) {
+      InitializeHistogram(experiment.Clusters(MineClusFromFlags(flags)),
+                          experiment.domain(), experiment.executor(),
+                          InitializerConfig{}, hist.get());
+    }
+  }
+
+  // Both runs build identical workloads; the restored one just skips the
+  // pre-train refines (they are part of the snapshot) and the first `skip`
+  // simulation queries (the watermark says the refiner already applied them).
+  ExperimentConfig wc_config;
+  wc_config.train_queries = flags.Size("train", 200);
+  wc_config.sim_queries = total_queries;
+  wc_config.volume_fraction = flags.Num("volume", 0.01);
+  auto [train, sim] = experiment.MakeWorkloads(wc_config);
+  if (!flags.Has("restore")) {
+    for (const Box& q : train) hist->Refine(q, experiment.executor());
+  }
+  if (skip > sim.size()) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "snapshot watermark %zu exceeds --queries %zu "
+                   "(was the snapshot saved by a longer run?)",
+                   skip, sim.size());
+  }
+
+  ServiceConfig sc;
+  sc.queue_capacity = flags.Size("queue-cap", sc.queue_capacity);
+  sc.publish_batch = flags.Size("publish-batch", sc.publish_batch);
+  if (sc.queue_capacity == 0 || sc.publish_batch == 0) {
+    return Status::InvalidArgument(
+        "--queue-cap and --publish-batch must be > 0");
+  }
+  sc.clone_publish = flags.Has("clone-publish");
+  sc.restored_feedback = skip;
+  sc.metrics = obs::GlobalMetrics();
+  HistogramService service(std::move(hist), experiment.executor(), sc);
+
+  const size_t pace = std::max<size_t>(flags.Size("pace", 1), 1);
+  const size_t snapshot_every = flags.Size("snapshot-every", 0);
+  const std::string snapshot_path = flags.Str("snapshot", "serve.snap");
+  if (snapshot_every > 0 && !flags.Has("snapshot")) {
+    return Status::InvalidArgument("--snapshot-every needs --snapshot <file>");
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  double sink = 0.0;
+  size_t saves = 0;
+  for (size_t i = skip; i < sim.size(); ++i) {
+    const Box& q = sim[i];
+    sink += service.Estimate(q);
+    if (service.SubmitFeedback(q) == FeedbackOutcome::kQueueFull) {
+      // Drain-and-resubmit instead of shedding: the replay must apply every
+      // query or the watermark would no longer count queries.
+      STHIST_RETURN_IF_ERROR(service.Drain());
+      (void)service.SubmitFeedback(q);
+    }
+    if ((i + 1 - skip) % pace == 0) {
+      STHIST_RETURN_IF_ERROR(service.Drain());
+    }
+    if (snapshot_every > 0 && (i + 1) % snapshot_every == 0) {
+      STHIST_RETURN_IF_ERROR(service.Drain());
+      STHIST_RETURN_IF_ERROR(service.SaveSnapshot(snapshot_path));
+      ++saves;
+    }
+  }
+  STHIST_RETURN_IF_ERROR(service.Drain());
+  if (flags.Has("snapshot")) {
+    STHIST_RETURN_IF_ERROR(service.SaveSnapshot(snapshot_path));
+    ++saves;
+  }
+  double drive_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  service.Stop();
+
+  ServiceStats stats = service.stats();
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"queries replayed", FormatSize(sim.size() - skip)});
+  table.AddRow({"queries skipped", FormatSize(skip)});
+  table.AddRow({"feedback applied", FormatSize(stats.feedback_applied)});
+  table.AddRow({"snapshot epoch", FormatSize(stats.snapshot_epoch)});
+  table.AddRow({"snapshot saves", FormatSize(saves)});
+  table.AddRow({"drive s", FormatDouble(drive_seconds, 2)});
+  table.Print();
+
+  // The determinism digest: FNV-1a over the final snapshot's estimates on
+  // the full simulation workload (skipped prefix included, so interrupted
+  // and uninterrupted runs fold the same probes).
+  std::shared_ptr<const Histogram> snapshot = service.snapshot();
+  uint64_t digest = kDigestSeed;
+  for (const Box& probe : sim) {
+    FoldDigest(std::bit_cast<uint64_t>(snapshot->Estimate(probe)), &digest);
+  }
+  std::printf("final snapshot: %zu buckets\n", snapshot->bucket_count());
+  std::printf("serve digest: %016llx\n",
+              static_cast<unsigned long long>(digest));
+  std::printf("--- metrics ---\n%s", obs::GlobalMetrics()->ToText().c_str());
+  return Status::Ok();
+}
+
 // Simulates production serving: R reader threads issue estimates against
 // the published snapshot while every executed query's feedback streams back
 // through the service's bounded queue into the single refiner. Prints the
@@ -741,8 +1043,13 @@ Status RunServeSim(const Flags& flags) {
       {STHIST_COMMON_FLAGS, STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS,
        STHIST_FAULT_FLAGS, STHIST_DRIFT_FLAGS, STHIST_REINIT_FLAGS,
        "buckets", "train", "queries", "readers", "volume", "init",
-       "queue-cap", "publish-batch", "batch"}));
+       "queue-cap", "publish-batch", "batch", "snapshot", "snapshot-every",
+       "restore", "clone-publish"}));
   if (flags.Has("drift")) return RunServeSimDrift(flags);
+  if (flags.Has("pace") || flags.Has("snapshot") ||
+      flags.Has("snapshot-every") || flags.Has("restore")) {
+    return RunServeSimReplay(flags);
+  }
   StatusOr<GeneratedData> g = ResolveDataset(flags);
   if (!g.ok()) return g.status();
   Experiment experiment(*std::move(g));
@@ -870,26 +1177,42 @@ Status RunServeSim(const Flags& flags) {
 // fleet-sim: sharded multi-tenant serving through a shared refiner pool.
 // ---------------------------------------------------------------------------
 
-// Folds the little-endian bytes of `value` into an FNV-1a digest.
-void FoldDigest(uint64_t value, uint64_t* digest) {
-  for (int byte = 0; byte < 8; ++byte) {
-    *digest ^= (value >> (8 * byte)) & 0xffu;
-    *digest *= 1099511628211ULL;
-  }
-}
-
 Status RunFleetSim(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
       {STHIST_COMMON_FLAGS, "tenants", "refiners", "queries", "buckets",
-       "readers", "pace", "seed", "queue-cap", "publish-batch"}));
+       "readers", "pace", "seed", "queue-cap", "publish-batch", "snapshot",
+       "restore", "clone-publish"}));
 
-  const size_t tenants = flags.Size("tenants", 16);
+  size_t tenants = flags.Size("tenants", 16);
   const size_t per_tenant = flags.Size("queries", 64);
   const size_t buckets = flags.Size("buckets", 24);
   const size_t readers = flags.Size("readers", 0);
   const size_t pace = flags.Size("pace", 0);
-  const uint64_t seed = static_cast<uint64_t>(flags.Num("seed", 1));
-  if (tenants == 0 || per_tenant == 0 || buckets == 0) {
+  uint64_t seed = static_cast<uint64_t>(flags.Num("seed", 1));
+
+  // --restore hands the fleet off from an "STHF" snapshot: tenant count,
+  // keys, seed, and per-tenant histograms all come from the file (so the
+  // digest of a `--queries 0` restore matches the digest the saving run
+  // printed); --tenants/--seed are ignored. The keys must be fleet-sim's own
+  // tenant_<index> keys — the index recovers which data variant the tenant
+  // serves.
+  snapshot_io::FleetSnapshot restored;
+  const bool restoring = flags.Has("restore");
+  if (restoring) {
+    StatusOr<std::string> bytes =
+        snapshot_io::ReadFile(flags.Str("restore", ""));
+    if (!bytes.ok()) return bytes.status();
+    StatusOr<snapshot_io::FleetSnapshot> snap =
+        snapshot_io::DecodeFleetSnapshot(*bytes);
+    if (!snap.ok()) return snap.status();
+    restored = *std::move(snap);
+    tenants = restored.tenants.size();
+    seed = restored.seed;
+    std::fprintf(stderr, "restored %s: %zu tenants, seed %llu\n",
+                 flags.Str("restore", "").c_str(), tenants,
+                 static_cast<unsigned long long>(seed));
+  }
+  if (tenants == 0 || buckets == 0 || (per_tenant == 0 && !restoring)) {
     return Status::InvalidArgument(
         "--tenants, --queries, and --buckets must be > 0");
   }
@@ -899,6 +1222,7 @@ Status RunFleetSim(const Flags& flags) {
   fc.queue_capacity = flags.Size("queue-cap", fc.queue_capacity);
   fc.publish_batch = flags.Size("publish-batch", fc.publish_batch);
   fc.seed = seed;
+  fc.clone_publish = flags.Has("clone-publish");
   fc.metrics = obs::GlobalMetrics();
   if (fc.refiners == 0 || fc.queue_capacity == 0 || fc.publish_batch == 0) {
     return Status::InvalidArgument(
@@ -932,12 +1256,36 @@ Status RunFleetSim(const Flags& flags) {
   keys.reserve(tenants);
   streams.reserve(tenants);
   for (size_t t = 0; t < tenants; ++t) {
-    keys.push_back("tenant_" + std::to_string(t));
-    Variant& v = *variants[t % variants.size()];
+    size_t variant_index = t;
     STHolesConfig hc;
     hc.max_buckets = buckets;
-    auto hist = std::make_unique<STHoles>(
-        v.g.domain, static_cast<double>(v.g.data.size()), hc);
+    std::unique_ptr<STHoles> hist;
+    if (restoring) {
+      const auto& [key, blob] = restored.tenants[t];
+      keys.push_back(key);
+      const size_t underscore = key.rfind('_');
+      char* end = nullptr;
+      variant_index = underscore == std::string::npos
+                          ? 0
+                          : std::strtoul(key.c_str() + underscore + 1, &end,
+                                         10);
+      if (underscore == std::string::npos || end == nullptr || *end != '\0') {
+        return StatusF(StatusCode::kInvalidArgument,
+                       "tenant key '%s' is not a fleet-sim tenant_<index> "
+                       "key; cannot map it to a data variant",
+                       key.c_str());
+      }
+      StatusOr<std::unique_ptr<STHoles>> decoded =
+          STHoles::DeserializeBinary(blob, hc);
+      if (!decoded.ok()) return decoded.status();
+      hist = *std::move(decoded);
+    } else {
+      keys.push_back("tenant_" + std::to_string(t));
+      Variant& v = *variants[t % variants.size()];
+      hist = std::make_unique<STHoles>(
+          v.g.domain, static_cast<double>(v.g.data.size()), hc);
+    }
+    Variant& v = *variants[variant_index % variants.size()];
     STHIST_RETURN_IF_ERROR(
         fleet.AddTenant(keys.back(), std::move(hist), *v.executor));
     // Each tenant's feedback stream is seeded from its fleet identity:
@@ -974,7 +1322,10 @@ Status RunFleetSim(const Flags& flags) {
   double sink = 0.0;
   size_t submitted = 0;
   size_t shed = 0;
-  for (size_t i = 0; i < per_tenant; ++i) {
+  // A restored fleet serves the handed-off histograms as-is: the driver is
+  // skipped so the digest below can be diffed against the one the saving
+  // run printed (same --queries, zero new feedback).
+  for (size_t i = 0; !restoring && i < per_tenant; ++i) {
     for (size_t t = 0; t < tenants; ++t) {
       const Box& q = streams[t][i];
       StatusOr<double> est = fleet.Estimate(keys[t], q);
@@ -990,6 +1341,12 @@ Status RunFleetSim(const Flags& flags) {
     }
   }
   STHIST_RETURN_IF_ERROR(fleet.Drain());
+  if (flags.Has("snapshot")) {
+    const std::string path = flags.Str("snapshot", "");
+    if (path.empty()) return Status::InvalidArgument("--snapshot needs a path");
+    STHIST_RETURN_IF_ERROR(fleet.SaveSnapshot(path));
+    std::fprintf(stderr, "saved fleet snapshot to %s\n", path.c_str());
+  }
   double drive_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -1001,7 +1358,7 @@ Status RunFleetSim(const Flags& flags) {
   // snapshot's probe estimates (the tenant's own stream), in sorted key
   // order. Identical digests across runs/refiner counts == identical
   // published histograms, bit for bit.
-  uint64_t digest = 1469598103934665603ULL;
+  uint64_t digest = kDigestSeed;
   std::vector<std::string> sorted_keys = fleet.TenantKeys();
   for (const std::string& key : sorted_keys) {
     FoldDigest(fleet.TenantId(key), &digest);
@@ -1027,8 +1384,10 @@ Status RunFleetSim(const Flags& flags) {
   table.AddRow({"shard runs", FormatSize(stats.shard_runs)});
   table.AddRow({"driver shed", FormatSize(shed)});
   table.AddRow({"drive s", FormatDouble(drive_seconds, 2)});
-  table.AddRow({"mean estimate",
-                FormatDouble(sink / static_cast<double>(submitted), 1)});
+  table.AddRow(
+      {"mean estimate",
+       FormatDouble(
+           submitted == 0 ? 0.0 : sink / static_cast<double>(submitted), 1)});
   table.Print();
 
   std::printf("fleet digest: %016llx\n",
@@ -1064,6 +1423,13 @@ void PrintUsage() {
       "              --threads N (0 = all cores) + experiment flags\n"
       "  inspect     print the bucket tree after training\n"
       "              --buckets N --train N [--init] [--out hist.txt]\n"
+      "  snapshot    versioned binary snapshot files (DESIGN.md §17)\n"
+      "              save:   train a histogram and persist it\n"
+      "                      --out file.snap + inspect's training flags\n"
+      "              load:   decode a .snap file and print its contents\n"
+      "              verify: decode, fail closed on any corruption\n"
+      "                      --in file.snap (histogram, service, or fleet\n"
+      "                      snapshots are auto-detected by magic)\n"
       "  serve-sim   concurrent serving simulation: reader threads estimate\n"
       "              against published snapshots while the refiner drains\n"
       "              their feedback; ends with a /metrics-style dump\n"
@@ -1081,6 +1447,16 @@ void PrintUsage() {
       "              --fault-reinit-rate R --fault-reinit-seed S inject\n"
       "              faults into the rebuild path (aborted swaps keep the\n"
       "              incumbent serving)\n"
+      "              replay mode (--pace, --snapshot, --snapshot-every, or\n"
+      "              --restore without --drift): one deterministic driver\n"
+      "              thread, drains every --pace P queries, prints a\n"
+      "              'serve digest' that is a pure function of the flags;\n"
+      "              --snapshot f.snap [--snapshot-every N] saves\n"
+      "              Drain-barriered snapshots, --restore f.snap warm-starts\n"
+      "              from one and replays to the uninterrupted run's digest\n"
+      "              (same dataset/workload flags required);\n"
+      "              --clone-publish uses deep-clone publishes instead of\n"
+      "              copy-on-write snapshots (identical estimates)\n"
       "  fleet-sim   sharded multi-tenant serving: N tenant histograms share\n"
       "              K pooled refiner threads; ends with a determinism\n"
       "              digest over the final snapshots and a metrics dump\n"
@@ -1089,6 +1465,11 @@ void PrintUsage() {
       "              --pace P drains the fleet every P submissions\n"
       "              (--pace 1 = serialized replay: the digest is invariant\n"
       "              across runs and --refiners values)\n"
+      "              --snapshot f.snap saves the drained fleet as an STHF\n"
+      "              snapshot; --restore f.snap hands the fleet off from one\n"
+      "              (tenants/seed come from the file, the driver is skipped,\n"
+      "              and with the saving run's --queries the digest matches\n"
+      "              it); --clone-publish uses deep-clone publishes\n"
       "\n"
       "every command accepts --metrics-json <path>: export the run's\n"
       "metrics registry (counters, gauges, latency histograms) as JSON\n"
@@ -1124,7 +1505,19 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
   std::string command = argv[1];
-  Flags flags(argc, argv, 2);
+  // `snapshot` takes a mode word (save/load/verify) before its flags.
+  std::string mode;
+  int first_flag = 2;
+  if (command == "snapshot") {
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+      std::fprintf(stderr, "snapshot requires a mode: save, load, verify\n");
+      PrintUsage();
+      return kExitUsage;
+    }
+    mode = argv[2];
+    first_flag = 3;
+  }
+  Flags flags(argc, argv, first_flag);
   if (!flags.error().ok()) {
     std::fprintf(stderr, "%s\n", flags.error().ToString().c_str());
     PrintUsage();
@@ -1148,6 +1541,18 @@ int main(int argc, char** argv) {
     status = RunSweepCommand(flags);
   } else if (command == "inspect") {
     status = RunInspect(flags);
+  } else if (command == "snapshot") {
+    if (mode == "save") {
+      status = RunSnapshotSave(flags);
+    } else if (mode == "load") {
+      status = RunSnapshotLoad(flags, /*verify_only=*/false);
+    } else if (mode == "verify") {
+      status = RunSnapshotLoad(flags, /*verify_only=*/true);
+    } else {
+      std::fprintf(stderr, "unknown snapshot mode: %s\n", mode.c_str());
+      PrintUsage();
+      return kExitUsage;
+    }
   } else if (command == "serve-sim") {
     status = RunServeSim(flags);
   } else if (command == "fleet-sim") {
