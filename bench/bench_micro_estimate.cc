@@ -1,4 +1,6 @@
-// Micro-benchmark: STHoles estimation cost as a function of bucket count.
+// Micro-benchmark: estimation cost as a function of synopsis budget, for
+// STHoles (bucket count) and the KDE estimator (sample capacity) at matched
+// budgets.
 //
 // Supplies its own main (instead of benchmark_main) so the shared bench
 // flags — notably --metrics-json for the BENCH_estimate.json artifact — are
@@ -8,6 +10,7 @@
 
 #include "bench_common.h"
 #include "data/generators.h"
+#include "histogram/kde.h"
 #include "histogram/stholes.h"
 #include "workload/query.h"
 #include "workload/workload.h"
@@ -95,6 +98,81 @@ void BM_EstimateBatch(benchmark::State& state) {
 BENCHMARK(BM_Estimate)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
 BENCHMARK(BM_EstimateLinear)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
 BENCHMARK(BM_EstimateBatch)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
+
+// KDE counterpart at matched budgets: sample_capacity plays the role of the
+// bucket count (both are the per-query O(budget · dim) estimation dial).
+struct KdeFixture {
+  GeneratedData g;
+  Executor executor;
+  Workload queries;
+
+  explicit KdeFixture(size_t capacity)
+      : g(MakeGauss([] {
+          GaussConfig config;
+          config.cluster_tuples = 30000;
+          config.noise_tuples = 3000;
+          return config;
+        }())),
+        executor(g.data) {
+    WorkloadConfig wc;
+    wc.num_queries = 200;
+    wc.volume_fraction = 0.01;
+    queries = MakeWorkload(g.domain, wc);
+    KdeConfig kc;
+    kc.sample_capacity = capacity;
+    hist = std::make_unique<KdeHistogram>(
+        g.domain, static_cast<double>(g.data.size()), kc);
+    for (const Box& q : queries) hist->Refine(q, executor);
+  }
+
+  std::unique_ptr<KdeHistogram> hist;
+};
+
+KdeFixture& KdeFixtureFor(int64_t capacity) {
+  static KdeFixture* fixtures[4] = {nullptr, nullptr, nullptr, nullptr};
+  int slot = capacity == 10 ? 0 : capacity == 50 ? 1 : capacity == 100 ? 2 : 3;
+  if (fixtures[slot] == nullptr) {
+    fixtures[slot] = new KdeFixture(static_cast<size_t>(capacity));
+  }
+  return *fixtures[slot];
+}
+
+// SoA plane path (the production Estimate, after the lazy plane build).
+void BM_KdeEstimate(benchmark::State& state) {
+  KdeFixture& f = KdeFixtureFor(state.range(0));
+  (void)f.hist->EstimateBatch(f.queries, 1);  // Force the plane build.
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.hist->Estimate(f.queries[i]));
+    i = (i + 1) % f.queries.size();
+  }
+  state.counters["buckets"] = static_cast<double>(f.hist->bucket_count());
+}
+
+// Row-major reference scan, the differential twin of the plane path.
+void BM_KdeEstimateLinear(benchmark::State& state) {
+  KdeFixture& f = KdeFixtureFor(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.hist->EstimateLinear(f.queries[i]));
+    i = (i + 1) % f.queries.size();
+  }
+  state.counters["buckets"] = static_cast<double>(f.hist->bucket_count());
+}
+
+void BM_KdeEstimateBatch(benchmark::State& state) {
+  KdeFixture& f = KdeFixtureFor(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.hist->EstimateBatch(f.queries, 0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.queries.size()));
+  state.counters["buckets"] = static_cast<double>(f.hist->bucket_count());
+}
+
+BENCHMARK(BM_KdeEstimate)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
+BENCHMARK(BM_KdeEstimateLinear)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
+BENCHMARK(BM_KdeEstimateBatch)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
 
 }  // namespace
 

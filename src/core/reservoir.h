@@ -1,0 +1,109 @@
+#ifndef STHIST_CORE_RESERVOIR_H_
+#define STHIST_CORE_RESERVOIR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace sthist {
+
+/// \file
+/// Seed-deterministic reservoir sampling (DESIGN.md §18).
+///
+/// One Algorithm R implementation shared by every feedback-sample consumer:
+/// the serving layer's FeedbackReservoir (re-initialization data), the KDE
+/// estimator's point sample, and the static sampling estimator's row sample.
+/// The reservoir is deterministic for a fixed (seed, offer sequence) pair —
+/// equal streams produce bitwise-equal samples — which is what lets the §9
+/// replay contract extend to sample-backed estimators.
+///
+/// Not thread-safe; owners serialize access (refiner thread, construction).
+
+/// Reservoir sample of up to `capacity` items over an unbounded stream
+/// (Vitter's Algorithm R) with optional recency ageing: `AgeHalve()` halves
+/// the virtual stream length, boosting the acceptance rate of everything
+/// offered afterwards so newer items displace old at an elevated rate.
+template <typename T>
+class Reservoir {
+ public:
+  /// Offer() result when Algorithm R passed the item over.
+  static constexpr size_t kRejected = std::numeric_limits<size_t>::max();
+
+  Reservoir(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    STHIST_CHECK(capacity > 0);
+    items_.reserve(capacity);
+  }
+
+  /// Offers one stream item. Returns the slot index the item now occupies,
+  /// or kRejected when it was passed over. While the reservoir is below
+  /// capacity every item is accepted in arrival order (no RNG draw), so a
+  /// stream no longer than the capacity is kept exactly and in order.
+  size_t Offer(T item) {
+    ++stream_;
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+      return items_.size() - 1;
+    }
+    // Algorithm R: replace slot j with probability capacity / stream.
+    const size_t j = rng_.Index(static_cast<size_t>(stream_));
+    if (j < capacity_) {
+      items_[j] = std::move(item);
+      return j;
+    }
+    return kRejected;
+  }
+
+  /// Recency bias: halves the virtual stream length (never below the held
+  /// sample size, so acceptance probabilities stay <= 1).
+  void AgeHalve() {
+    stream_ = std::max<uint64_t>(stream_ / 2, items_.size());
+  }
+
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Virtual stream length (aged down by AgeHalve).
+  uint64_t stream_length() const { return stream_; }
+
+  /// Held items in internal slot order — deterministic for a fixed stream.
+  const std::vector<T>& items() const { return items_; }
+
+  /// Empties the sample and restarts the stream counter. The RNG is NOT
+  /// reset: the reservoir stays deterministic over its whole life, not
+  /// per-epoch.
+  void Clear() {
+    items_.clear();
+    stream_ = 0;
+  }
+
+  /// Replaces the held sample and stream counter wholesale (snapshot
+  /// restore). Items beyond capacity are dropped; the stream length is
+  /// floored at the held size so acceptance probabilities stay <= 1.
+  void Restore(std::vector<T> items, uint64_t stream_length) {
+    items_ = std::move(items);
+    if (items_.size() > capacity_) items_.resize(capacity_);
+    stream_ = std::max<uint64_t>(stream_length, items_.size());
+  }
+
+  /// Underlying RNG — exposed so owners can serialize engine state for
+  /// bitwise-exact warm restarts.
+  Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
+
+ private:
+  const size_t capacity_;
+  Rng rng_;
+  std::vector<T> items_;
+  uint64_t stream_ = 0;  // Virtual stream length (aged down).
+};
+
+}  // namespace sthist
+
+#endif  // STHIST_CORE_RESERVOIR_H_

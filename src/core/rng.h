@@ -62,8 +62,10 @@ class Rng {
   /// Draws `k` distinct indices from [0, n) (k <= n), in random order.
   std::vector<size_t> Sample(size_t n, size_t k);
 
-  /// Access to the underlying engine for std distributions.
+  /// Access to the underlying engine for std distributions and for
+  /// serializing engine state (operator<< / operator>> round-trip exactly).
   std::mt19937_64& engine() { return engine_; }
+  const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;

@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "eval/metrics.h"
 #include "histogram/census.h"
+#include "histogram/registry.h"
 #include "histogram/trivial.h"
 
 namespace sthist {
@@ -107,9 +108,22 @@ ExperimentResult Experiment::RunWithWorkloads(const ExperimentConfig& config,
   STHIST_CHECK(!sim.empty());
   ExperimentResult result;
 
-  STHolesConfig hist_config;
-  hist_config.max_buckets = config.buckets;
-  STHoles hist(generated_.domain, total_tuples(), hist_config);
+  // Estimator construction goes through the registry (DESIGN.md §18): every
+  // registered family runs this pipeline by name. A bad name or missing
+  // input is a programming error at this layer — the CLI validates
+  // user-supplied names before building configs.
+  HistogramConfig hist_config;
+  hist_config.domain = generated_.domain;
+  hist_config.total_tuples = total_tuples();
+  hist_config.data = &generated_.data;
+  hist_config.buckets = config.buckets;
+  hist_config.seed = config.workload_seed;
+  StatusOr<std::unique_ptr<Histogram>> made =
+      MakeHistogram(config.estimator, hist_config);
+  STHIST_CHECK_MSG(made.ok(), "MakeHistogram(%s): %s",
+                   config.estimator.c_str(),
+                   made.status().message().c_str());
+  Histogram& hist = *made.value();
 
   if (config.initialize) {
     const ClusterCacheEntry& entry = ClusterEntry(config.mineclus);
@@ -156,7 +170,11 @@ ExperimentResult Experiment::RunWithWorkloads(const ExperimentConfig& config,
                    : std::numeric_limits<double>::quiet_NaN();
 
   result.final_buckets = hist.bucket_count();
-  result.subspace_buckets = CensusSubspaceBuckets(hist).subspace_buckets;
+  // The subspace census is an STHoles bucket-tree notion; other estimator
+  // families report 0.
+  if (const auto* stholes = dynamic_cast<const STHoles*>(&hist)) {
+    result.subspace_buckets = CensusSubspaceBuckets(*stholes).subspace_buckets;
+  }
   result.robustness = hist.robustness();
   if (faulty_oracle.has_value()) {
     result.faults_injected = faulty_oracle->faults_injected();

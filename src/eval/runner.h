@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "clustering/mineclus.h"
@@ -23,7 +24,14 @@ namespace sthist {
 /// measured over the simulation queries only, with refinement continuing
 /// unless disabled).
 struct ExperimentConfig {
-  /// STHoles bucket budget (the paper sweeps 50..250).
+  /// Registry name of the estimator under test (histogram/registry.h). Every
+  /// registered estimator runs through the same train/simulate/measure
+  /// pipeline; self-tuning families learn from feedback, static families
+  /// are built from the dataset and just measured.
+  std::string estimator = "stholes";
+
+  /// Synopsis budget (the paper sweeps 50..250 STHoles buckets; for the
+  /// sampled families this is the sample size).
   size_t buckets = 100;
 
   size_t train_queries = 1000;

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
-#include "core/rng.h"
+#include "core/reservoir.h"
 
 namespace sthist {
 
@@ -16,10 +16,12 @@ SamplingEstimator::SamplingEstimator(const Dataset& data, size_t sample_size,
   scale_ = static_cast<double>(data.size()) /
            static_cast<double>(sample_size);
 
-  Rng rng(seed);
-  std::vector<size_t> rows = rng.Sample(data.size(), sample_size);
+  // Shared reservoir over the row stream: uniform without replacement, and
+  // when the reservoir covers the relation it keeps every row in order.
+  Reservoir<size_t> rows(sample_size, seed);
+  for (size_t row = 0; row < data.size(); ++row) rows.Offer(row);
   sample_.Reserve(sample_size);
-  for (size_t row : rows) sample_.Append(data.row(row));
+  for (size_t row : rows.items()) sample_.Append(data.row(row));
   index_ = std::make_unique<KdTree>(sample_);
 }
 

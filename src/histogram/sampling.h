@@ -21,7 +21,10 @@ namespace sthist {
 class SamplingEstimator : public Histogram {
  public:
   /// Draws a sample of `sample_size` tuples (without replacement) from
-  /// `data` and indexes it for counting.
+  /// `data` via the shared core Reservoir (Algorithm R over the row stream,
+  /// DESIGN.md §18) and indexes it for counting. When `sample_size` covers
+  /// the whole relation the sample is the relation itself, row order
+  /// preserved.
   SamplingEstimator(const Dataset& data, size_t sample_size, uint64_t seed);
 
   double Estimate(const Box& query) const override;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "histogram/registry.h"
 #include "histogram/stholes.h"
 #include "histogram/trivial.h"
 #include "serve/snapshot_io.h"
@@ -386,6 +387,7 @@ Status HistogramService::SaveSnapshot(const std::string& path) const {
         "served histogram does not support binary snapshots "
         "(SerializeBinary returned empty)");
   }
+  out.estimator = EstimatorNameForBlob(out.histogram);
   const std::string bytes = snapshot_io::EncodeServiceSnapshot(out);
   STHIST_RETURN_IF_ERROR(snapshot_io::WriteFileAtomic(path, bytes));
   snapshot_saves_.Inc();

@@ -6,6 +6,7 @@
 
 #include "core/check.h"
 #include "core/rng.h"
+#include "histogram/registry.h"
 #include "serve/snapshot_io.h"
 
 namespace sthist {
@@ -441,14 +442,17 @@ Status ServiceFleet::SaveSnapshot(const std::string& path) const {
             [](const auto& a, const auto& b) { return a.first < b.first; });
   out.tenants.reserve(snaps.size());
   for (auto& [key, snap] : snaps) {
-    std::string blob = snap->SerializeBinary();
-    if (blob.empty()) {
+    snapshot_io::FleetTenant tenant;
+    tenant.histogram = snap->SerializeBinary();
+    if (tenant.histogram.empty()) {
       return StatusF(StatusCode::kInvalidArgument,
                      "tenant '%s' does not support binary snapshots "
                      "(SerializeBinary returned empty)",
                      key.c_str());
     }
-    out.tenants.emplace_back(std::move(key), std::move(blob));
+    tenant.estimator = EstimatorNameForBlob(tenant.histogram);
+    tenant.key = std::move(key);
+    out.tenants.push_back(std::move(tenant));
   }
   const std::string bytes = snapshot_io::EncodeFleetSnapshot(out);
   STHIST_RETURN_IF_ERROR(snapshot_io::WriteFileAtomic(path, bytes));

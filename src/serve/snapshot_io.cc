@@ -40,6 +40,8 @@ Status ReadLengthPrefixed(const char** cursor, const char* end,
 std::string EncodeServiceSnapshot(const ServiceSnapshot& snapshot) {
   std::string payload;
   binfmt::AppendU64(&payload, snapshot.applied_feedback);
+  binfmt::AppendU64(&payload, snapshot.estimator.size());
+  payload.append(snapshot.estimator);
   binfmt::AppendU64(&payload, snapshot.histogram.size());
   payload.append(snapshot.histogram);
   return binfmt::Frame(kServiceMagic, kFormatVersion, payload);
@@ -59,6 +61,8 @@ StatusOr<ServiceSnapshot> DecodeServiceSnapshot(std::string_view bytes) {
   const char* cursor = payload.data() + 8;
   const char* end = payload.data() + payload.size();
   STHIST_RETURN_IF_ERROR(
+      ReadLengthPrefixed(&cursor, end, "estimator name", &snapshot.estimator));
+  STHIST_RETURN_IF_ERROR(
       ReadLengthPrefixed(&cursor, end, "histogram blob", &snapshot.histogram));
   if (cursor != end) {
     return Status::InvalidArgument(
@@ -71,11 +75,13 @@ std::string EncodeFleetSnapshot(const FleetSnapshot& snapshot) {
   std::string payload;
   binfmt::AppendU64(&payload, snapshot.seed);
   binfmt::AppendU64(&payload, snapshot.tenants.size());
-  for (const auto& [key, blob] : snapshot.tenants) {
-    binfmt::AppendU64(&payload, key.size());
-    payload.append(key);
-    binfmt::AppendU64(&payload, blob.size());
-    payload.append(blob);
+  for (const FleetTenant& tenant : snapshot.tenants) {
+    binfmt::AppendU64(&payload, tenant.key.size());
+    payload.append(tenant.key);
+    binfmt::AppendU64(&payload, tenant.estimator.size());
+    payload.append(tenant.estimator);
+    binfmt::AppendU64(&payload, tenant.histogram.size());
+    payload.append(tenant.histogram);
   }
   return binfmt::Frame(kFleetMagic, kFormatVersion, payload);
 }
@@ -105,12 +111,15 @@ StatusOr<FleetSnapshot> DecodeFleetSnapshot(std::string_view bytes) {
   const char* cursor = payload.data() + 16;
   const char* end = payload.data() + payload.size();
   for (uint64_t i = 0; i < tenant_count; ++i) {
-    std::string key, blob;
+    FleetTenant tenant;
     STHIST_RETURN_IF_ERROR(
-        ReadLengthPrefixed(&cursor, end, "tenant key", &key));
-    STHIST_RETURN_IF_ERROR(
-        ReadLengthPrefixed(&cursor, end, "tenant histogram blob", &blob));
-    snapshot.tenants.emplace_back(std::move(key), std::move(blob));
+        ReadLengthPrefixed(&cursor, end, "tenant key", &tenant.key));
+    STHIST_RETURN_IF_ERROR(ReadLengthPrefixed(&cursor, end,
+                                              "tenant estimator name",
+                                              &tenant.estimator));
+    STHIST_RETURN_IF_ERROR(ReadLengthPrefixed(
+        &cursor, end, "tenant histogram blob", &tenant.histogram));
+    snapshot.tenants.push_back(std::move(tenant));
   }
   if (cursor != end) {
     return Status::InvalidArgument(

@@ -14,31 +14,41 @@
 /// §17), layered over the same frame primitive as the STHoles bucket blob
 /// (core/binfmt.h):
 ///
-///   "STHS" — one HistogramService: the applied-feedback watermark plus the
-///            published histogram's "STHB" blob. The watermark is what warm
-///            restart needs to resume a deterministic feedback stream where
-///            the saved run left off.
-///   "STHF" — one ServiceFleet: the fleet seed plus every tenant's key and
-///            histogram blob, in the iteration order of the save.
+///   "STHS" — one HistogramService: the applied-feedback watermark, the
+///            published estimator's registry name, and its histogram blob
+///            ("STHB", "STHK", ...). The watermark is what warm restart
+///            needs to resume a deterministic feedback stream where the
+///            saved run left off.
+///   "STHF" — one ServiceFleet: the fleet seed plus every tenant's key,
+///            estimator name, and histogram blob, in the iteration order of
+///            the save.
 ///
 /// The nested histogram blobs stay opaque here — they carry their own frame
-/// and are decoded by STHoles::DeserializeBinary, so corruption inside a
-/// tenant's payload is caught by that layer even though this one's checksum
-/// would already have flagged it. Every decode fails closed with a Status.
+/// and are decoded through the estimator registry (RestoreHistogram
+/// dispatches on each blob's own magic), so corruption inside a tenant's
+/// payload is caught by that layer even though this one's checksum would
+/// already have flagged it. The stored estimator name makes snapshots
+/// self-describing for operators and lets restore paths cross-check the
+/// blob against what the save claimed. Every decode fails closed with a
+/// Status.
 
 namespace sthist {
 namespace snapshot_io {
 
 /// Version of the service/fleet container formats. Evolution policy
 /// (DESIGN.md §17): any layout change bumps this, old numbers are never
-/// reused, and readers reject mismatches naming both versions.
-inline constexpr uint32_t kFormatVersion = 1;
+/// reused, and readers reject mismatches naming both versions. Version 2
+/// added the estimator registry name (version 1 assumed STHoles).
+inline constexpr uint32_t kFormatVersion = 2;
 
 /// One service's persisted state.
 struct ServiceSnapshot {
   /// Feedback items the refiner had applied and published when the snapshot
   /// was cut (the Drain barrier makes this exact, DESIGN.md §17).
   uint64_t applied_feedback = 0;
+  /// Registry name of the published estimator ("stholes", "kde", ...),
+  /// derived from the blob's magic at save time (EstimatorNameForBlob).
+  std::string estimator;
   /// The published histogram's SerializeBinary() blob.
   std::string histogram;
 };
@@ -46,13 +56,23 @@ struct ServiceSnapshot {
 std::string EncodeServiceSnapshot(const ServiceSnapshot& snapshot);
 StatusOr<ServiceSnapshot> DecodeServiceSnapshot(std::string_view bytes);
 
+/// One tenant's persisted state inside a fleet snapshot.
+struct FleetTenant {
+  /// Caller-visible tenant key.
+  std::string key;
+  /// Registry name of the tenant's estimator.
+  std::string estimator;
+  /// The tenant histogram's SerializeBinary() blob.
+  std::string histogram;
+};
+
 /// One fleet's persisted state: per-tenant histogram blobs keyed by the
 /// caller-visible tenant key.
 struct FleetSnapshot {
   /// FleetConfig::seed of the saved fleet; restore must reuse it so tenant
   /// ids and shard routing reproduce.
   uint64_t seed = 0;
-  std::vector<std::pair<std::string, std::string>> tenants;
+  std::vector<FleetTenant> tenants;
 };
 
 std::string EncodeFleetSnapshot(const FleetSnapshot& snapshot);

@@ -141,10 +141,13 @@ Status Validate(const ReservoirConfig& config) {
 }
 
 FeedbackReservoir::FeedbackReservoir(size_t dim, const ReservoirConfig& config)
-    : dim_(dim), config_(config), rng_(config.seed), scratch_(dim) {
+    : dim_(dim),
+      config_(config),
+      synth_rng_(DeriveSeed(config.seed, /*role=*/1)),
+      reservoir_(config.capacity, DeriveSeed(config.seed, /*role=*/2)),
+      scratch_(dim) {
   STHIST_CHECK(dim > 0);
   STHIST_CHECK(Validate(config).ok());
-  points_.reserve(config.capacity * dim);
 }
 
 void FeedbackReservoir::Add(const Box& box, double actual) {
@@ -158,40 +161,27 @@ void FeedbackReservoir::Add(const Box& box, double actual) {
                          1, config_.max_points_per_feedback);
   for (size_t k = 0; k < points; ++k) {
     for (size_t d = 0; d < dim_; ++d) {
-      scratch_[d] = rng_.Uniform(box.lo(d), box.hi(d));
+      scratch_[d] = synth_rng_.Uniform(box.lo(d), box.hi(d));
     }
-    ++stream_points_;
-    if (size() < config_.capacity) {
-      points_.insert(points_.end(), scratch_.begin(), scratch_.end());
-    } else {
-      // Algorithm R: replace slot j with probability capacity / stream.
-      const size_t j = rng_.Index(static_cast<size_t>(stream_points_));
-      if (j < config_.capacity) {
-        std::copy(scratch_.begin(), scratch_.end(),
-                  points_.begin() + j * dim_);
-      }
-    }
+    reservoir_.Offer(scratch_);
   }
 
   // Ageing: halving the virtual stream length boosts the acceptance rate of
   // everything after it, biasing the sample toward recent phases.
   if (config_.age_interval > 0 && feedbacks_ % config_.age_interval == 0) {
-    stream_points_ = std::max<uint64_t>(stream_points_ / 2, size());
+    reservoir_.AgeHalve();
   }
 }
 
 Dataset FeedbackReservoir::ToDataset() const {
   Dataset data(dim_);
-  data.Reserve(size());
-  for (size_t i = 0; i < size(); ++i) {
-    data.Append({points_.data() + i * dim_, dim_});
+  data.Reserve(reservoir_.size());
+  for (const Point& p : reservoir_.items()) {
+    data.Append({p.data(), dim_});
   }
   return data;
 }
 
-void FeedbackReservoir::Clear() {
-  points_.clear();
-  stream_points_ = 0;
-}
+void FeedbackReservoir::Clear() { reservoir_.Clear(); }
 
 }  // namespace sthist

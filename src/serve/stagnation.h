@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/box.h"
+#include "core/reservoir.h"
 #include "core/rng.h"
 #include "core/status.h"
 #include "data/dataset.h"
@@ -130,11 +131,11 @@ struct ReservoirConfig {
 /// Validates a ReservoirConfig from an untrusted source (CLI flags).
 Status Validate(const ReservoirConfig& config);
 
-/// Deterministic reservoir sample over the feedback stream (Algorithm R with
-/// optional ageing). Feedback arrives as (box, actual-count) pairs — the
-/// service never sees tuples, so the reservoir synthesizes count-weighted
-/// points uniformly inside each feedback box. Not thread-safe —
-/// refiner-thread only.
+/// Deterministic reservoir sample over the feedback stream. Feedback arrives
+/// as (box, actual-count) pairs — the service never sees tuples, so this
+/// wrapper synthesizes count-weighted points uniformly inside each feedback
+/// box and offers them to a shared core Reservoir<Point> (Algorithm R +
+/// ageing, DESIGN.md §18). Not thread-safe — refiner-thread only.
 class FeedbackReservoir {
  public:
   FeedbackReservoir(size_t dim, const ReservoirConfig& config);
@@ -145,7 +146,7 @@ class FeedbackReservoir {
   void Add(const Box& box, double actual);
 
   /// Points currently held (<= capacity).
-  size_t size() const { return points_.size() / dim_; }
+  size_t size() const { return reservoir_.size(); }
   size_t dim() const { return dim_; }
   size_t feedbacks_seen() const { return feedbacks_; }
 
@@ -153,7 +154,7 @@ class FeedbackReservoir {
   /// order — deterministic for a fixed feedback sequence.
   Dataset ToDataset() const;
 
-  /// Empties the sample and restarts the stream counter (the RNG is NOT
+  /// Empties the sample and restarts the stream counter (the RNGs are NOT
   /// reset: the reservoir remains deterministic over the whole life of the
   /// service, not per-epoch).
   void Clear();
@@ -161,9 +162,8 @@ class FeedbackReservoir {
  private:
   const size_t dim_;
   const ReservoirConfig config_;
-  Rng rng_;
-  std::vector<double> points_;  // size() * dim_ values, row-major slots.
-  uint64_t stream_points_ = 0;  // Virtual stream length (aged down).
+  Rng synth_rng_;               // Coordinate synthesis stream.
+  Reservoir<Point> reservoir_;  // Slot-selection stream lives inside.
   size_t feedbacks_ = 0;
   Point scratch_;
 };

@@ -14,19 +14,15 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
 #include "core/box.h"
+#include "core/check.h"
 #include "core/rng.h"
 #include "data/generators.h"
 #include "eval/metrics.h"
-#include "histogram/avi.h"
-#include "histogram/equiwidth.h"
 #include "histogram/histogram.h"
-#include "histogram/isomer.h"
-#include "histogram/mhist.h"
-#include "histogram/sampling.h"
-#include "histogram/stgrid.h"
-#include "histogram/stholes.h"
-#include "histogram/trivial.h"
+#include "histogram/registry.h"
 #include "workload/query.h"
 #include "workload/workload.h"
 
@@ -95,7 +91,7 @@ const std::vector<const Scenario*>& Scenarios() {
   return *scenarios;
 }
 
-// One histogram implementation under test: a display name, the relative
+// One histogram implementation under test: a registry name, the relative
 // tolerance for the full-domain-mass property, and a factory that builds
 // (and, for self-tuning variants, trains) an instance for a scenario.
 struct Impl {
@@ -104,57 +100,61 @@ struct Impl {
   std::function<std::unique_ptr<Histogram>(const Scenario&)> make;
 };
 
+// Per-family battery knobs. Every name in RegisteredNames() MUST have an
+// entry here — the CHECK below turns "registered a new estimator but forgot
+// the property battery" into an immediate test-binary failure rather than a
+// silent coverage gap.
+struct ImplTraits {
+  double mass_rtol;     // Tolerance for the full-domain-mass property.
+  size_t buckets;       // Generic synopsis budget (HistogramConfig::buckets).
+  size_t cells_per_dim; // 0 = derive from buckets.
+  size_t buckets_per_dim;
+  bool train;           // Self-tuning families learn the scenario workload.
+};
+
 std::vector<Impl> AllImplementations() {
+  // Self-tuning histograms (train=true) learn on the scenario workload with
+  // true feedback; their full-domain mass tracks the dataset only
+  // approximately. KDE is the exception: its domain-truncated kernels are
+  // renormalized, so the full-domain estimate recovers the dataset size to
+  // rounding however the bandwidths adapt.
+  const std::map<std::string, ImplTraits> traits = {
+      {"trivial", {1e-9, 100, 0, 0, false}},
+      {"equiwidth", {1e-9, 100, 8, 0, false}},
+      {"avi", {1e-9, 100, 0, 16, false}},
+      {"sampling", {1e-9, 1000, 0, 0, false}},
+      {"mhist", {1e-9, 100, 0, 0, false}},
+      {"stgrid", {0.35, 100, 8, 0, true}},
+      {"isomer", {0.25, 60, 0, 0, true}},
+      {"stholes", {0.25, 60, 0, 0, true}},
+      {"kde", {1e-6, 512, 0, 0, true}},
+  };
   std::vector<Impl> impls;
-  impls.push_back({"trivial", 1e-9, [](const Scenario& s) {
-                     return std::make_unique<TrivialHistogram>(
-                         s.g.domain, static_cast<double>(s.g.data.size()));
-                   }});
-  impls.push_back({"equiwidth", 1e-9, [](const Scenario& s) {
-                     return std::make_unique<EquiWidthHistogram>(
-                         s.g.data, s.g.domain, /*cells_per_dim=*/8);
-                   }});
-  impls.push_back({"avi", 1e-9, [](const Scenario& s) {
-                     return std::make_unique<AviHistogram>(
-                         s.g.data, s.g.domain, /*buckets_per_dim=*/16);
-                   }});
-  impls.push_back({"sampling", 1e-9, [](const Scenario& s) {
-                     return std::make_unique<SamplingEstimator>(
-                         s.g.data, /*sample_size=*/1000, /*seed=*/5);
-                   }});
-  impls.push_back({"mhist", 1e-9, [](const Scenario& s) {
-                     MHistConfig config;
-                     return std::make_unique<MHistHistogram>(s.g.data,
-                                                             s.g.domain, config);
-                   }});
-  // Self-tuning histograms are trained on the scenario workload with true
-  // feedback; their full-domain mass tracks the dataset only approximately.
-  impls.push_back({"stgrid", 0.35, [](const Scenario& s) {
-                     STGridConfig config;
-                     auto h = std::make_unique<STGridHistogram>(
-                         s.g.domain, static_cast<double>(s.g.data.size()),
-                         config);
-                     Train(h.get(), s.train, *s.executor);
-                     return h;
-                   }});
-  impls.push_back({"isomer", 0.25, [](const Scenario& s) {
-                     IsomerConfig config;
-                     config.max_buckets = 60;
-                     auto h = std::make_unique<IsomerHistogram>(
-                         s.g.domain, static_cast<double>(s.g.data.size()),
-                         config);
-                     Train(h.get(), s.train, *s.executor);
-                     return h;
-                   }});
-  impls.push_back({"stholes", 0.25, [](const Scenario& s) {
-                     STHolesConfig config;
-                     config.max_buckets = 60;
-                     auto h = std::make_unique<STHoles>(
-                         s.g.domain, static_cast<double>(s.g.data.size()),
-                         config);
-                     Train(h.get(), s.train, *s.executor);
-                     return h;
-                   }});
+  for (const std::string& name : RegisteredNames()) {
+    auto it = traits.find(name);
+    STHIST_CHECK_MSG(it != traits.end(),
+                     "estimator '%s' is registered but has no property-test "
+                     "traits; add it to the battery",
+                     name.c_str());
+    const ImplTraits t = it->second;
+    impls.push_back(
+        {name, t.mass_rtol, [name, t](const Scenario& s) {
+           HistogramConfig hc;
+           hc.domain = s.g.domain;
+           hc.total_tuples = static_cast<double>(s.g.data.size());
+           hc.data = &s.g.data;
+           hc.buckets = t.buckets;
+           hc.seed = 5;
+           hc.cells_per_dim = t.cells_per_dim;
+           hc.buckets_per_dim = t.buckets_per_dim;
+           StatusOr<std::unique_ptr<Histogram>> made = MakeHistogram(name, hc);
+           STHIST_CHECK_MSG(made.ok(), "MakeHistogram(%s): %s", name.c_str(),
+                            made.status().message().c_str());
+           std::unique_ptr<Histogram> h = *std::move(made);
+           if (t.train) Train(h.get(), s.train, *s.executor);
+           return h;
+         }});
+  }
   return impls;
 }
 

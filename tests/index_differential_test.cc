@@ -18,8 +18,10 @@
 #include "core/rng.h"
 #include "core/simd.h"
 #include "data/generators.h"
+#include "core/status.h"
 #include "histogram/histogram.h"
 #include "histogram/isomer.h"
+#include "histogram/kde.h"
 #include "histogram/mhist.h"
 #include "histogram/stgrid.h"
 #include "histogram/stholes.h"
@@ -340,6 +342,78 @@ TEST(STGridDifferentialTest, GridProbeMatchesFullTensorScan) {
     }
   }
   ExpectAllPathsBitEqual(h, probes);
+}
+
+// ---------------------------------------------------------------------------
+// KDE
+
+class KdeDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+// The SoA plane probe (Estimate / EstimateBatch) against the retained
+// row-major AoS scan (EstimateLinear) as the sample and bandwidths evolve
+// under feedback. Same bit-identity bar as the bucket-tree indexes: the two
+// layouts share one kernel-factor function and one summation order.
+TEST_P(KdeDifferentialTest, PlanesMatchLinearAcrossHistory) {
+  const auto [dim, seed] = GetParam();
+  GeneratedData g = MakeCrossData(dim, seed);
+  Executor executor(g.data);
+
+  KdeConfig config;
+  config.sample_capacity = 256;
+  KdeHistogram h(g.domain, static_cast<double>(g.data.size()), config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 80;
+  wc.seed = DeriveSeed(seed, 30);
+  Workload train = MakeWorkload(g.domain, wc);
+  Workload probes = MakeProbes(g.domain, seed + 3, 20);
+
+  for (size_t i = 0; i < train.size(); ++i) {
+    h.Refine(train[i], executor);
+    for (size_t k = 0; k < 3; ++k) {
+      const Box& q = probes[(3 * i + k) % probes.size()];
+      EXPECT_TRUE(BitEqual(h.Estimate(q), h.EstimateLinear(q)))
+          << "refine " << i << ", probe " << q.ToString();
+    }
+  }
+  ExpectAllPathsBitEqual(h, probes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdeDifferentialTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 3),
+                       ::testing::Values<uint64_t>(21, 77)),
+    [](const auto& info) {
+      return "dim" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// An STHK round-trip reproduces every estimation path bit-exactly: the
+// restored sample, bandwidths, and engines are the originals.
+TEST(KdeDifferentialTest, SerializationRoundTripPreservesIdentity) {
+  GeneratedData g = MakeCrossData(3, 5);
+  Executor executor(g.data);
+
+  KdeConfig config;
+  config.sample_capacity = 200;
+  KdeHistogram h(g.domain, static_cast<double>(g.data.size()), config);
+
+  WorkloadConfig wc;
+  wc.num_queries = 120;
+  wc.seed = 9;
+  for (const Box& q : MakeWorkload(g.domain, wc)) h.Refine(q, executor);
+
+  StatusOr<std::unique_ptr<KdeHistogram>> loaded =
+      KdeHistogram::DeserializeBinary(h.SerializeBinary(), config);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  Workload probes = MakeProbes(g.domain, 13);
+  for (const Box& q : probes) {
+    EXPECT_TRUE(BitEqual((*loaded)->Estimate(q), h.Estimate(q)))
+        << q.ToString();
+  }
+  ExpectAllPathsBitEqual(**loaded, probes);
 }
 
 }  // namespace

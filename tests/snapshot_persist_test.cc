@@ -305,19 +305,22 @@ TEST(SnapshotPersistTest, FleetSnapshotRestoresEveryTenantBitExactly) {
   EXPECT_EQ(saved->seed, fc.seed);
   ASSERT_EQ(saved->tenants.size(), keys.size());
   const Workload probes = rig.Queries(60, 555);
-  for (const auto& [key, blob] : saved->tenants) {
-    SCOPED_TRACE("tenant " + key);
-    std::shared_ptr<const Histogram> live = fleet.Snapshot(key);
+  for (const snapshot_io::FleetTenant& tenant : saved->tenants) {
+    SCOPED_TRACE("tenant " + tenant.key);
+    EXPECT_EQ(tenant.estimator, "stholes");
+    std::shared_ptr<const Histogram> live = fleet.Snapshot(tenant.key);
     ASSERT_NE(live, nullptr);
     StatusOr<std::unique_ptr<STHoles>> restored =
-        STHoles::DeserializeBinary(blob, Budget(18));
+        STHoles::DeserializeBinary(tenant.histogram, Budget(18));
     ASSERT_TRUE(restored.ok()) << restored.status().ToString();
     ExpectBitIdentical(**restored, *live, probes);
   }
 
   // Keys arrive sorted, so two saves of the same fleet are byte-identical.
   std::vector<std::string> saved_keys;
-  for (const auto& [key, blob] : saved->tenants) saved_keys.push_back(key);
+  for (const snapshot_io::FleetTenant& tenant : saved->tenants) {
+    saved_keys.push_back(tenant.key);
+  }
   EXPECT_TRUE(std::is_sorted(saved_keys.begin(), saved_keys.end()));
 }
 

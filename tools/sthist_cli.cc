@@ -41,6 +41,7 @@
 #include "eval/runner.h"
 #include "eval/table.h"
 #include "histogram/census.h"
+#include "histogram/registry.h"
 #include "histogram/stholes.h"
 #include "histogram/trivial.h"
 #include "init/initializer.h"
@@ -351,17 +352,37 @@ Status RunCluster(const Flags& flags) {
   return Status::Ok();
 }
 
+/// Validates --estimator against the registry so a typo is a flag error
+/// naming the registered estimators, not a crash deep in the runner.
+StatusOr<std::string> EstimatorFromFlags(const Flags& flags) {
+  std::string name = flags.Str("estimator", "stholes");
+  for (const std::string& known : RegisteredNames()) {
+    if (known == name) return name;
+  }
+  std::string known_list;
+  for (const std::string& known : RegisteredNames()) {
+    if (!known_list.empty()) known_list += ", ";
+    known_list += known;
+  }
+  return StatusF(StatusCode::kNotFound,
+                 "--estimator %s is not registered (choose from: %s)",
+                 name.c_str(), known_list.c_str());
+}
+
 Status RunExperiment(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
       {STHIST_COMMON_FLAGS, STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS,
        STHIST_FAULT_FLAGS, "buckets", "train", "sim", "volume", "init",
-       "reversed", "freeze", "data-centers", "batch"}));
+       "reversed", "freeze", "data-centers", "batch", "estimator"}));
   StatusOr<GeneratedData> g = ResolveDataset(flags);
   if (!g.ok()) return g.status();
   STHIST_RETURN_IF_ERROR(MaybeInjectDataFaults(flags, &*g));
   Experiment experiment(*std::move(g));
 
   ExperimentConfig config;
+  StatusOr<std::string> estimator = EstimatorFromFlags(flags);
+  if (!estimator.ok()) return estimator.status();
+  config.estimator = *std::move(estimator);
   config.buckets = flags.Size("buckets", 100);
   config.train_queries = flags.Size("train", 400);
   config.sim_queries = flags.Size("sim", 400);
@@ -421,7 +442,8 @@ Status RunSweepCommand(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
       {STHIST_COMMON_FLAGS, STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS,
        STHIST_FAULT_FLAGS, "buckets", "seeds", "train", "sim", "volume",
-       "init", "both", "reversed", "freeze", "data-centers", "threads"}));
+       "init", "both", "reversed", "freeze", "data-centers", "threads",
+       "estimator"}));
   StatusOr<GeneratedData> g = ResolveDataset(flags);
   if (!g.ok()) return g.status();
   STHIST_RETURN_IF_ERROR(MaybeInjectDataFaults(flags, &*g));
@@ -440,6 +462,9 @@ Status RunSweepCommand(const Flags& flags) {
   size_t threads = flags.Size("threads", 0);  // 0 = hardware concurrency.
 
   ExperimentConfig base;
+  StatusOr<std::string> estimator = EstimatorFromFlags(flags);
+  if (!estimator.ok()) return estimator.status();
+  base.estimator = *std::move(estimator);
   base.train_queries = flags.Size("train", 400);
   base.sim_queries = flags.Size("sim", 400);
   base.volume_fraction = flags.Num("volume", 0.01);
@@ -543,24 +568,32 @@ Status RunInspect(const Flags& flags) {
 // snapshot save/load/verify: versioned binary snapshot files (DESIGN.md §17).
 // ---------------------------------------------------------------------------
 
-// `snapshot save`: train an STHoles histogram exactly like `inspect` does,
-// then persist its versioned binary blob ("STHB") atomically. The printed
-// digest is FNV-1a over the file bytes, so two saves agree iff the files do.
+// `snapshot save`: train an estimator (--estimator, default stholes) exactly
+// like `inspect` does, then persist its versioned binary blob ("STHB",
+// "STHK", ...) atomically. The printed digest is FNV-1a over the file bytes,
+// so two saves agree iff the files do.
 Status RunSnapshotSave(const Flags& flags) {
   STHIST_RETURN_IF_ERROR(flags.CheckAllowed(
       {STHIST_COMMON_FLAGS, STHIST_DATASET_FLAGS, STHIST_CLUSTER_FLAGS,
-       "buckets", "train", "volume", "init", "out"}));
+       "buckets", "train", "volume", "init", "out", "estimator"}));
   std::string out = flags.Str("out", "");
   if (out.empty()) {
     return Status::InvalidArgument("snapshot save requires --out <file>");
   }
+  StatusOr<std::string> estimator = EstimatorFromFlags(flags);
+  if (!estimator.ok()) return estimator.status();
   StatusOr<GeneratedData> g = ResolveDataset(flags);
   if (!g.ok()) return g.status();
   Experiment experiment(*std::move(g));
 
-  STHolesConfig hc;
-  hc.max_buckets = flags.Size("buckets", 100);
-  STHoles hist(experiment.domain(), experiment.total_tuples(), hc);
+  HistogramConfig hc;
+  hc.domain = experiment.domain();
+  hc.total_tuples = experiment.total_tuples();
+  hc.data = &experiment.data();
+  hc.buckets = flags.Size("buckets", 100);
+  StatusOr<std::unique_ptr<Histogram>> made = MakeHistogram(*estimator, hc);
+  if (!made.ok()) return made.status();
+  Histogram& hist = **made;
   if (flags.Has("init")) {
     InitializeHistogram(experiment.Clusters(MineClusFromFlags(flags)),
                         experiment.domain(), experiment.executor(),
@@ -574,9 +607,15 @@ Status RunSnapshotSave(const Flags& flags) {
   for (const Box& q : train) hist.Refine(q, experiment.executor());
 
   const std::string blob = hist.SerializeBinary();
+  if (blob.empty()) {
+    return StatusF(StatusCode::kInvalidArgument,
+                   "estimator %s does not support binary snapshots",
+                   estimator->c_str());
+  }
   STHIST_RETURN_IF_ERROR(snapshot_io::WriteFileAtomic(out, blob));
-  std::printf("wrote %s: %zu buckets, %zu bytes, digest %016llx\n",
-              out.c_str(), hist.bucket_count(), blob.size(),
+  std::printf("wrote %s: %s, %zu buckets, %zu bytes, digest %016llx\n",
+              out.c_str(), estimator->c_str(), hist.bucket_count(),
+              blob.size(),
               static_cast<unsigned long long>(binfmt::Fnv1a(blob)));
   return Status::Ok();
 }
@@ -604,24 +643,28 @@ Status RunSnapshotLoad(const Flags& flags, bool verify_only) {
                    path.c_str(), bytes->size());
   }
   // The bucket budget only matters if the loaded histogram is refined
-  // further; decoding never merges, so any value is safe here.
-  STHolesConfig hc;
-  hc.max_buckets = flags.Size("buckets", hc.max_buckets);
+  // further; decoding never merges, so any value is safe here. Histogram
+  // blobs are self-describing (registry.h): RestoreHistogram dispatches on
+  // the blob's own magic, so the file works regardless of which estimator
+  // wrote it.
+  HistogramConfig hc;
+  hc.buckets = flags.Size("buckets", 100);
   const unsigned long long file_digest =
       static_cast<unsigned long long>(binfmt::Fnv1a(*bytes));
 
   std::string kind(bytes->data(), 4);
-  if (kind == "STHB") {
-    StatusOr<std::unique_ptr<STHoles>> hist =
-        STHoles::DeserializeBinary(*bytes, hc);
+  if (kind == "STHB" || kind == "STHK") {
+    const std::string estimator(EstimatorNameForBlob(*bytes));
+    StatusOr<std::unique_ptr<Histogram>> hist = RestoreHistogram(*bytes, hc);
     if (!hist.ok()) return hist.status();
     if (verify_only) {
-      std::printf("snapshot OK: histogram, %zu buckets, digest %016llx\n",
-                  (*hist)->bucket_count(), file_digest);
+      std::printf("snapshot OK: %s histogram, %zu buckets, digest %016llx\n",
+                  estimator.c_str(), (*hist)->bucket_count(), file_digest);
       return Status::Ok();
     }
     TablePrinter table({"field", "value"});
-    table.AddRow({"kind", "histogram (STHB)"});
+    table.AddRow({"kind", "histogram (" + kind + ")"});
+    table.AddRow({"estimator", estimator});
     table.AddRow({"buckets", FormatSize((*hist)->bucket_count())});
     table.AddRow({"file bytes", FormatSize(bytes->size())});
     table.Print();
@@ -629,20 +672,21 @@ Status RunSnapshotLoad(const Flags& flags, bool verify_only) {
     StatusOr<snapshot_io::ServiceSnapshot> snap =
         snapshot_io::DecodeServiceSnapshot(*bytes);
     if (!snap.ok()) return snap.status();
-    StatusOr<std::unique_ptr<STHoles>> hist =
-        STHoles::DeserializeBinary(snap->histogram, hc);
+    StatusOr<std::unique_ptr<Histogram>> hist =
+        RestoreHistogram(snap->histogram, hc);
     if (!hist.ok()) return hist.status();
     if (verify_only) {
       std::printf(
-          "snapshot OK: service, %zu buckets, %llu feedback applied, "
+          "snapshot OK: service (%s), %zu buckets, %llu feedback applied, "
           "digest %016llx\n",
-          (*hist)->bucket_count(),
+          snap->estimator.c_str(), (*hist)->bucket_count(),
           static_cast<unsigned long long>(snap->applied_feedback),
           file_digest);
       return Status::Ok();
     }
     TablePrinter table({"field", "value"});
     table.AddRow({"kind", "service (STHS)"});
+    table.AddRow({"estimator", snap->estimator});
     table.AddRow({"buckets", FormatSize((*hist)->bucket_count())});
     table.AddRow({"feedback applied",
                   FormatSize(static_cast<size_t>(snap->applied_feedback))});
@@ -653,12 +697,12 @@ Status RunSnapshotLoad(const Flags& flags, bool verify_only) {
         snapshot_io::DecodeFleetSnapshot(*bytes);
     if (!snap.ok()) return snap.status();
     size_t total_buckets = 0;
-    for (const auto& [key, blob] : snap->tenants) {
-      StatusOr<std::unique_ptr<STHoles>> hist =
-          STHoles::DeserializeBinary(blob, hc);
+    for (const snapshot_io::FleetTenant& tenant : snap->tenants) {
+      StatusOr<std::unique_ptr<Histogram>> hist =
+          RestoreHistogram(tenant.histogram, hc);
       if (!hist.ok()) {
         return StatusF(StatusCode::kInvalidArgument, "tenant '%s': %s",
-                       key.c_str(), hist.status().message().c_str());
+                       tenant.key.c_str(), hist.status().message().c_str());
       }
       total_buckets += (*hist)->bucket_count();
     }
@@ -914,7 +958,7 @@ Status RunServeSimReplay(const Flags& flags) {
 
   STHolesConfig hc;
   hc.max_buckets = flags.Size("buckets", 100);
-  std::unique_ptr<STHoles> hist;
+  std::unique_ptr<Histogram> hist;
   size_t skip = 0;  // Queries already baked into the restored histogram.
   if (flags.Has("restore")) {
     const std::string from = flags.Str("restore", "");
@@ -923,14 +967,19 @@ Status RunServeSimReplay(const Flags& flags) {
     StatusOr<snapshot_io::ServiceSnapshot> snap =
         snapshot_io::DecodeServiceSnapshot(*bytes);
     if (!snap.ok()) return snap.status();
-    StatusOr<std::unique_ptr<STHoles>> restored =
-        STHoles::DeserializeBinary(snap->histogram, hc);
+    // Registry dispatch on the blob's own magic: the replay restores
+    // whichever estimator family the snapshot was saved from.
+    HistogramConfig rc;
+    rc.buckets = hc.max_buckets;
+    StatusOr<std::unique_ptr<Histogram>> restored =
+        RestoreHistogram(snap->histogram, rc);
     if (!restored.ok()) return restored.status();
     hist = *std::move(restored);
     skip = static_cast<size_t>(snap->applied_feedback);
     std::fprintf(stderr,
-                 "restored %s: %zu buckets, resuming after %zu queries\n",
-                 from.c_str(), hist->bucket_count(), skip);
+                 "restored %s (%s): %zu buckets, resuming after %zu queries\n",
+                 from.c_str(), snap->estimator.c_str(), hist->bucket_count(),
+                 skip);
   } else {
     hist = std::make_unique<STHoles>(experiment.domain(),
                                      experiment.total_tuples(), hc);
@@ -1259,9 +1308,10 @@ Status RunFleetSim(const Flags& flags) {
     size_t variant_index = t;
     STHolesConfig hc;
     hc.max_buckets = buckets;
-    std::unique_ptr<STHoles> hist;
+    std::unique_ptr<Histogram> hist;
     if (restoring) {
-      const auto& [key, blob] = restored.tenants[t];
+      const snapshot_io::FleetTenant& tenant = restored.tenants[t];
+      const std::string& key = tenant.key;
       keys.push_back(key);
       const size_t underscore = key.rfind('_');
       char* end = nullptr;
@@ -1275,8 +1325,12 @@ Status RunFleetSim(const Flags& flags) {
                        "key; cannot map it to a data variant",
                        key.c_str());
       }
-      StatusOr<std::unique_ptr<STHoles>> decoded =
-          STHoles::DeserializeBinary(blob, hc);
+      // Self-describing tenant blobs: the registry restores whichever
+      // estimator family each tenant was saved from.
+      HistogramConfig rc;
+      rc.buckets = buckets;
+      StatusOr<std::unique_ptr<Histogram>> decoded =
+          RestoreHistogram(tenant.histogram, rc);
       if (!decoded.ok()) return decoded.status();
       hist = *std::move(decoded);
     } else {
@@ -1409,7 +1463,10 @@ void PrintUsage() {
       "              --clusterer mineclus|clique|doc\n"
       "              mineclus/doc: --alpha A --beta B --width W\n"
       "              clique: --xi N --tau T --max-dims K\n"
-      "  experiment  train/simulate STHoles and report errors\n"
+      "  experiment  train/simulate an estimator and report errors\n"
+      "              --estimator NAME picks the family (default stholes;\n"
+      "              trivial|equiwidth|avi|sampling|mhist|stgrid|isomer|\n"
+      "              stholes|kde — see histogram/registry.h)\n"
       "              --buckets N --train N --sim N --volume F [--init]\n"
       "              [--reversed] [--freeze] [--data-centers] + cluster "
       "flags\n"
@@ -1420,12 +1477,14 @@ void PrintUsage() {
       "              --fault-noise F [--fault-data]\n"
       "  sweep       run a grid of experiment cells across threads\n"
       "              --buckets 50,100,250 --seeds 21,22 [--init|--both]\n"
-      "              --threads N (0 = all cores) + experiment flags\n"
+      "              --threads N (0 = all cores) [--estimator NAME]\n"
+      "              + experiment flags\n"
       "  inspect     print the bucket tree after training\n"
       "              --buckets N --train N [--init] [--out hist.txt]\n"
       "  snapshot    versioned binary snapshot files (DESIGN.md §17)\n"
       "              save:   train a histogram and persist it\n"
-      "                      --out file.snap + inspect's training flags\n"
+      "                      --out file.snap [--estimator NAME]\n"
+      "                      + inspect's training flags\n"
       "              load:   decode a .snap file and print its contents\n"
       "              verify: decode, fail closed on any corruption\n"
       "                      --in file.snap (histogram, service, or fleet\n"
